@@ -1,0 +1,258 @@
+// Command rocketeer is the post-processing companion (the paper's
+// visualization tool): it inspects RHDF snapshot files — listing datasets,
+// dumping attributes and data, and rendering an ASCII cross-section of a
+// node-centered field across all panes of a window, the way Figure 1(b)'s
+// cutaway view is built from the same files.
+//
+// Examples:
+//
+//	rocketeer -dir genx-out -file run/snap000020_s000.rhdf
+//	rocketeer -dir genx-out -file run/snap000020_s000.rhdf -dump /fluid/pane000001/pressure
+//	rocketeer -dir genx-out -file run/snap000020_s000.rhdf -render pressure -window fluid
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strings"
+
+	"genxio"
+	"genxio/internal/hdf"
+	"genxio/internal/roccom"
+	"genxio/internal/rt"
+	"genxio/internal/viz"
+)
+
+func main() {
+	dir := flag.String("dir", ".", "root directory")
+	file := flag.String("file", "", "RHDF file (relative to -dir)")
+	dump := flag.String("dump", "", "dataset to dump (name)")
+	render := flag.String("render", "", "node attribute to render as an r-z cross section")
+	vtk := flag.String("vtk", "", "export a window as a legacy VTK file to this host path")
+	window := flag.String("window", "fluid", "window for -render")
+	width := flag.Int("width", 72, "render width in characters")
+	height := flag.Int("height", 24, "render height in characters")
+	flag.Parse()
+	if *file == "" {
+		fmt.Fprintln(os.Stderr, "rocketeer: -file is required")
+		os.Exit(2)
+	}
+
+	fs, err := rt.NewOSFS(*dir)
+	if err != nil {
+		fatal(err)
+	}
+	r, err := genxio.OpenHDF(fs, *file, rt.NewWallClock(), genxio.NullProfile())
+	if err != nil {
+		fatal(err)
+	}
+	defer r.Close()
+
+	switch {
+	case *dump != "":
+		dumpDataset(r, *dump)
+	case *render != "":
+		renderField(r, *window, *render, *width, *height)
+	case *vtk != "":
+		out, err := os.Create(*vtk)
+		if err != nil {
+			fatal(err)
+		}
+		if err := viz.WriteVTK(out, r, *window); err != nil {
+			out.Close()
+			fatal(err)
+		}
+		if err := out.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s window %q as VTK to %s\n", *file, *window, *vtk)
+	default:
+		list(r)
+	}
+}
+
+func list(r *hdf.Reader) {
+	fmt.Printf("%d datasets\n", r.NumDatasets())
+	type paneInfo struct {
+		attrs []string
+		bytes int64
+	}
+	panes := map[string]*paneInfo{}
+	var order []string
+	compressed := 0
+	for _, d := range r.Datasets() {
+		if d.Compressed() {
+			compressed++
+		}
+		win, id, attr, ok := roccom.ParseDatasetName(d.Name)
+		if !ok {
+			fmt.Printf("  %-40s %-8s dims=%v %6d B", d.Name, d.Type, d.Dims, d.NumBytes())
+			for _, a := range d.Attrs {
+				fmt.Printf(" %s=%v", a.Name, attrValue(a))
+			}
+			fmt.Println()
+			continue
+		}
+		key := fmt.Sprintf("%s/pane%06d", win, id)
+		p, seen := panes[key]
+		if !seen {
+			p = &paneInfo{}
+			panes[key] = p
+			order = append(order, key)
+		}
+		p.attrs = append(p.attrs, attr)
+		p.bytes += d.NumBytes()
+	}
+	sort.Strings(order)
+	for _, key := range order {
+		p := panes[key]
+		fmt.Printf("  %-28s %8.1f KB  [%s]\n", key, float64(p.bytes)/1024, strings.Join(p.attrs, " "))
+	}
+	if compressed > 0 {
+		fmt.Printf("%d of %d datasets deflate-compressed\n", compressed, r.NumDatasets())
+	}
+}
+
+func attrValue(a hdf.Attr) interface{} {
+	switch a.Type {
+	case hdf.U8:
+		return a.Str()
+	case hdf.F64:
+		return a.F64s()
+	case hdf.I32:
+		return a.I32s()
+	}
+	return fmt.Sprintf("%d bytes", len(a.Data))
+}
+
+func dumpDataset(r *hdf.Reader, name string) {
+	ds, ok := r.Lookup(name)
+	if !ok {
+		fatal(fmt.Errorf("no dataset %q", name))
+	}
+	fmt.Printf("%s: %s dims=%v (%d bytes)\n", ds.Name, ds.Type, ds.Dims, ds.NumBytes())
+	for _, a := range ds.Attrs {
+		fmt.Printf("  @%s = %v\n", a.Name, attrValue(a))
+	}
+	raw, err := r.ReadData(ds)
+	if err != nil {
+		fatal(err)
+	}
+	const maxShown = 24
+	switch ds.Type {
+	case hdf.F64:
+		vals := hdf.BytesF64(raw)
+		n := len(vals)
+		if n > maxShown {
+			vals = vals[:maxShown]
+		}
+		fmt.Printf("  data: %.6g", vals)
+		if n > maxShown {
+			fmt.Printf(" ... (%d values)", n)
+		}
+		fmt.Println()
+	case hdf.I32:
+		vals := hdf.BytesI32(raw)
+		n := len(vals)
+		if n > maxShown {
+			vals = vals[:maxShown]
+		}
+		fmt.Printf("  data: %d", vals)
+		if n > maxShown {
+			fmt.Printf(" ... (%d values)", n)
+		}
+		fmt.Println()
+	default:
+		fmt.Printf("  data: %d raw bytes\n", len(raw))
+	}
+}
+
+// renderField projects every pane's nodes of a node-centered attribute
+// onto the r-z plane and prints an ASCII intensity map — a cutaway section
+// of the rocket like Figure 1(b).
+func renderField(r *hdf.Reader, window, attr string, width, height int) {
+	type sample struct{ rr, z, v float64 }
+	var samples []sample
+	for _, d := range r.Datasets() {
+		win, id, a, ok := roccom.ParseDatasetName(d.Name)
+		if !ok || win != window || a != "_coords" {
+			continue
+		}
+		coordRaw, err := r.ReadData(d)
+		if err != nil {
+			fatal(err)
+		}
+		coords := hdf.BytesF64(coordRaw)
+		fd, ok := r.Lookup(roccom.PanePrefix(window, id) + attr)
+		if !ok {
+			fatal(fmt.Errorf("pane %d has no attribute %q", id, attr))
+		}
+		ncomp := int(fd.Dims[len(fd.Dims)-1])
+		fieldRaw, err := r.ReadData(fd)
+		if err != nil {
+			fatal(err)
+		}
+		field := hdf.BytesF64(fieldRaw)
+		for n := 0; 3*n+2 < len(coords); n++ {
+			x, y, z := coords[3*n], coords[3*n+1], coords[3*n+2]
+			var v float64
+			for c := 0; c < ncomp; c++ {
+				v += field[n*ncomp+c] * field[n*ncomp+c]
+			}
+			v = math.Sqrt(v)
+			samples = append(samples, sample{rr: math.Hypot(x, y), z: z, v: v})
+		}
+	}
+	if len(samples) == 0 {
+		fatal(fmt.Errorf("window %q attribute %q: nothing to render", window, attr))
+	}
+	minR, maxR := samples[0].rr, samples[0].rr
+	minZ, maxZ := samples[0].z, samples[0].z
+	minV, maxV := samples[0].v, samples[0].v
+	for _, s := range samples {
+		minR, maxR = math.Min(minR, s.rr), math.Max(maxR, s.rr)
+		minZ, maxZ = math.Min(minZ, s.z), math.Max(maxZ, s.z)
+		minV, maxV = math.Min(minV, s.v), math.Max(maxV, s.v)
+	}
+	grid := make([][]float64, height)
+	hits := make([][]int, height)
+	for i := range grid {
+		grid[i] = make([]float64, width)
+		hits[i] = make([]int, width)
+	}
+	for _, s := range samples {
+		col := int(float64(width-1) * (s.z - minZ) / math.Max(maxZ-minZ, 1e-12))
+		row := int(float64(height-1) * (s.rr - minR) / math.Max(maxR-minR, 1e-12))
+		grid[row][col] += s.v
+		hits[row][col]++
+	}
+	shades := []byte(" .:-=+*#%@")
+	fmt.Printf("%s/%s: r-z cross section, %d nodes; range [%.4g, %.4g]\n",
+		window, attr, len(samples), minV, maxV)
+	for row := height - 1; row >= 0; row-- {
+		line := make([]byte, width)
+		for col := 0; col < width; col++ {
+			if hits[row][col] == 0 {
+				line[col] = ' '
+				continue
+			}
+			v := grid[row][col] / float64(hits[row][col])
+			t := 0.0
+			if maxV > minV {
+				t = (v - minV) / (maxV - minV)
+			}
+			idx := int(t * float64(len(shades)-1))
+			line[col] = shades[idx]
+		}
+		fmt.Printf("r %s\n", line)
+	}
+	fmt.Printf("  %s z\n", strings.Repeat("-", width))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rocketeer:", err)
+	os.Exit(1)
+}

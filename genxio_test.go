@@ -1,0 +1,156 @@
+package genxio_test
+
+import (
+	"fmt"
+	"testing"
+
+	"genxio"
+	"genxio/internal/stats"
+)
+
+// TestFacadeEndToEnd exercises the public API the way a downstream user
+// would: build a world, initialize Rocpanda, register panes through
+// Roccom, write through the uniform interface, and read back.
+func TestFacadeEndToEnd(t *testing.T) {
+	fs := genxio.NewMemFS()
+	world := genxio.NewLocalWorld(fs, 1)
+	err := world.Run(3, func(ctx genxio.Ctx) error {
+		client, err := genxio.RocpandaInit(ctx, genxio.RocpandaConfig{
+			NumServers: 1, ActiveBuffering: true, Profile: genxio.NullProfile(),
+		})
+		if err != nil {
+			return err
+		}
+		if client == nil {
+			return nil
+		}
+		rc := genxio.NewRoccom()
+		win, err := rc.NewWindow("fluid")
+		if err != nil {
+			return err
+		}
+		if err := win.NewAttribute(genxio.AttrSpec{Name: "p", Loc: genxio.NodeLoc, Type: genxio.F64, NComp: 1}); err != nil {
+			return err
+		}
+		blocks, err := genxio.GenCylinder(genxio.CylinderSpec{
+			RInner: 0.1, ROuter: 0.3, Length: 1,
+			BR: 1, BT: 2, BZ: 1, NodesPerBlock: 60,
+		}, 10*client.Comm().Rank()+1, stats.NewRNG(1))
+		if err != nil {
+			return err
+		}
+		for _, b := range blocks {
+			if _, err := win.RegisterPane(b.ID, b); err != nil {
+				return err
+			}
+		}
+		if err := rc.LoadModule(client.Module(), "IO"); err != nil {
+			return err
+		}
+		svc, err := genxio.LoadedIO(rc, "IO")
+		if err != nil {
+			return err
+		}
+		if err := svc.WriteAttribute("t/s0", win, "all", 0, 0); err != nil {
+			return err
+		}
+		if err := svc.Sync(); err != nil {
+			return err
+		}
+		if err := svc.ReadAttribute("t/s0", win, "all"); err != nil {
+			return err
+		}
+		return rc.UnloadModule("IO")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names, _ := fs.List("t/")
+	if len(names) != 1 {
+		t.Fatalf("files %v", names)
+	}
+}
+
+// TestIntegratedRunOnBothBackends runs the same rocman configuration on
+// the real backend and on the simulated Turing platform — the library's
+// central portability claim.
+func TestIntegratedRunOnBothBackends(t *testing.T) {
+	spec := genxio.LabScale(0.05)
+	spec.Steps = 8
+	spec.SnapshotEvery = 4
+	cfg := genxio.Config{
+		Workload: spec,
+		IO:       genxio.IORocpanda,
+		Profile:  genxio.HDF4Profile(),
+		Rocpanda: genxio.RocpandaConfig{NumServers: 1, ActiveBuffering: true},
+	}
+
+	var reports []*genxio.Report
+	runOn := func(name string, world genxio.World) {
+		var rep *genxio.Report
+		err := world.Run(5, func(ctx genxio.Ctx) error {
+			r, err := genxio.Run(ctx, cfg)
+			if r != nil {
+				rep = r
+			}
+			return err
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if rep == nil {
+			t.Fatalf("%s: no report", name)
+		}
+		reports = append(reports, rep)
+	}
+	runOn("real", genxio.NewLocalWorld(genxio.NewMemFS(), 1))
+	runOn("turing", genxio.NewTuring(1))
+
+	real, sim := reports[0], reports[1]
+	if real.Snapshots != sim.Snapshots || real.BytesOut != sim.BytesOut {
+		t.Fatalf("backends disagree on the work done: %+v vs %+v", real, sim)
+	}
+	if sim.ComputeTime <= 0 {
+		t.Fatal("simulated backend charged no compute time")
+	}
+}
+
+// TestPlatformPresetsExposed checks the calibrated presets are usable and
+// overridable through the facade.
+func TestPlatformPresetsExposed(t *testing.T) {
+	tu, fr := genxio.Turing(), genxio.Frost()
+	if tu.CPUsPerNode != 2 || fr.CPUsPerNode != 16 {
+		t.Fatalf("presets wrong: %+v %+v", tu, fr)
+	}
+	if tu.NewFS == nil || fr.NewFS == nil {
+		t.Fatal("presets missing filesystem factories")
+	}
+	// Example of customization: a quieter Turing.
+	tu.NoiseFrac = 0
+	if genxio.Turing().NoiseFrac == 0 {
+		t.Fatal("preset mutation leaked into the factory")
+	}
+}
+
+func ExampleRun() {
+	fs := genxio.NewMemFS()
+	world := genxio.NewLocalWorld(fs, 1)
+	spec := genxio.Scalability(2, 32<<10)
+	cfg := genxio.Config{
+		Workload: spec,
+		IO:       genxio.IOTRochdf,
+		Profile:  genxio.NullProfile(),
+	}
+	var rep *genxio.Report
+	if err := world.Run(2, func(ctx genxio.Ctx) error {
+		r, err := genxio.Run(ctx, cfg)
+		if r != nil {
+			rep = r
+		}
+		return err
+	}); err != nil {
+		panic(err)
+	}
+	fmt.Println(rep.Snapshots, "snapshots from", rep.NumClients, "clients")
+	// Output: 3 snapshots from 2 clients
+}

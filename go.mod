@@ -1,0 +1,3 @@
+module genxio
+
+go 1.24

@@ -1,0 +1,216 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"genxio/internal/cluster"
+	"genxio/internal/hdf"
+	"genxio/internal/rocman"
+	"genxio/internal/rocpanda"
+	"genxio/internal/workload"
+)
+
+// AblationOpts configures the design-choice ablations (DESIGN.md §5).
+type AblationOpts struct {
+	// Scale shrinks the lab-scale workload (default 0.25).
+	Scale float64
+	// Procs is the compute-processor count (default 32).
+	Procs int
+}
+
+func (o *AblationOpts) defaults() {
+	if o.Scale <= 0 {
+		o.Scale = 0.25
+	}
+	if o.Procs <= 0 {
+		o.Procs = 32
+	}
+}
+
+// AblationResult is a formatted collection of ablation tables.
+type AblationResult struct {
+	Sections []string
+}
+
+// Format joins the sections.
+func (r *AblationResult) Format() string { return strings.Join(r.Sections, "\n") }
+
+// RunAblations runs all ablations.
+func RunAblations(opts AblationOpts) (*AblationResult, error) {
+	opts.defaults()
+	res := &AblationResult{}
+	for _, f := range []func(AblationOpts) (string, error){
+		ablationBuffering,
+		ablationRatio,
+		ablationPlacement,
+		ablationHDFProfile,
+	} {
+		s, err := f(opts)
+		if err != nil {
+			return nil, err
+		}
+		res.Sections = append(res.Sections, s)
+	}
+	return res, nil
+}
+
+// ablationBuffering compares active buffering with write-through servers:
+// the paper's central overlap claim.
+func ablationBuffering(opts AblationOpts) (string, error) {
+	plat := cluster.Turing()
+	spec := workload.LabScale(opts.Scale)
+	n := opts.Procs
+	run := func(active bool) (*rocman.Report, error) {
+		cfg := rocman.Config{
+			Workload:       spec,
+			IO:             rocman.IORocpanda,
+			Profile:        hdf.HDF4Profile(),
+			BufferBW:       plat.MemcpyBW,
+			ServerBufferBW: 300e6,
+			StrideRealWork: 50,
+			Rocpanda: rocpanda.Config{
+				NumServers:      n / 8,
+				ActiveBuffering: active,
+			},
+		}
+		rep, _, err := runOnce(plat, 1, plat.CPUsPerNode, n+n/8, cfg)
+		return rep, err
+	}
+	on, err := run(true)
+	if err != nil {
+		return "", err
+	}
+	off, err := run(false)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation: active buffering (Turing, %d procs, scale %.2f)\n", n, opts.Scale)
+	fmt.Fprintf(&b, "  %-28s %10s %10s\n", "", "visible s", "sync s")
+	fmt.Fprintf(&b, "  %-28s %10.3f %10.3f\n", "active buffering (paper)", on.VisibleWrite, on.SyncWait)
+	fmt.Fprintf(&b, "  %-28s %10.3f %10.3f\n", "write-through", off.VisibleWrite, off.SyncWait)
+	fmt.Fprintf(&b, "  visible-cost reduction: %.1fx\n", off.VisibleWrite/on.VisibleWrite)
+	return b.String(), nil
+}
+
+// ablationRatio sweeps the client:server ratio.
+func ablationRatio(opts AblationOpts) (string, error) {
+	plat := cluster.Turing()
+	spec := workload.LabScale(opts.Scale)
+	n := opts.Procs
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation: client:server ratio (Turing, %d compute procs, scale %.2f)\n", n, opts.Scale)
+	fmt.Fprintf(&b, "  %-8s %8s %12s %12s %14s\n", "ratio", "servers", "visible s", "restart s", "files/snap")
+	for _, ratio := range []int{4, 8, 16, 32} {
+		m := n / ratio
+		if m < 1 {
+			m = 1
+		}
+		cfg := rocman.Config{
+			Workload:       spec,
+			IO:             rocman.IORocpanda,
+			Profile:        hdf.HDF4Profile(),
+			BufferBW:       plat.MemcpyBW,
+			ServerBufferBW: 300e6,
+			StrideRealWork: 50,
+			MeasureRestart: true,
+			Rocpanda: rocpanda.Config{
+				NumServers:      m,
+				ActiveBuffering: true,
+			},
+		}
+		rep, world, err := runOnce(plat, 1, plat.CPUsPerNode, n+m, cfg)
+		if err != nil {
+			return "", err
+		}
+		files := countSnapshotFiles(world, "out/snap000200")
+		fmt.Fprintf(&b, "  %-8s %8d %12.3f %12.3f %14d\n",
+			fmt.Sprintf("%d:1", ratio), m, rep.VisibleWrite, rep.VisibleRead, files)
+	}
+	return b.String(), nil
+}
+
+// ablationPlacement compares spread vs packed server placement on the SMP
+// platform: spread leaves one mostly-idle CPU per node (absorbing OS
+// noise), packed concentrates servers and saturates the compute nodes.
+func ablationPlacement(opts AblationOpts) (string, error) {
+	plat := cluster.Frost()
+	const nodes = 4
+	ncompute := 15 * nodes
+	spec := workload.Scalability(ncompute, 256<<10)
+	run := func(p rocpanda.Placement) (*rocman.Report, error) {
+		cfg := rocman.Config{
+			Workload:       spec,
+			IO:             rocman.IORocpanda,
+			Profile:        hdf.HDF4Profile(),
+			BufferBW:       plat.MemcpyBW,
+			ServerBufferBW: 300e6,
+			StrideRealWork: spec.Steps,
+			Rocpanda: rocpanda.Config{
+				NumServers:       nodes,
+				ActiveBuffering:  true,
+				Placement:        p,
+				PerBlockOverhead: 3e-3,
+			},
+		}
+		rep, _, err := runOnce(plat, 1, 16, 16*nodes, cfg)
+		return rep, err
+	}
+	spread, err := run(rocpanda.Spread)
+	if err != nil {
+		return "", err
+	}
+	packed, err := run(rocpanda.Packed)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation: server placement (Frost, %d nodes, %d compute + %d servers)\n", nodes, ncompute, nodes)
+	fmt.Fprintf(&b, "  %-24s %12s %12s\n", "", "compute s", "visible s")
+	fmt.Fprintf(&b, "  %-24s %12.2f %12.3f\n", "spread (paper)", spread.ComputeTime, spread.VisibleWrite)
+	fmt.Fprintf(&b, "  %-24s %12.2f %12.3f\n", "packed", packed.ComputeTime, packed.VisibleWrite)
+	return b.String(), nil
+}
+
+// ablationHDFProfile compares the HDF4 and HDF5 cost profiles on the
+// Rocpanda restart scan — the dataset-count scaling claim behind Table 1's
+// restart asymmetry.
+func ablationHDFProfile(opts AblationOpts) (string, error) {
+	plat := cluster.Turing()
+	spec := workload.LabScale(opts.Scale)
+	n := opts.Procs
+	run := func(profile hdf.CostProfile) (*rocman.Report, error) {
+		cfg := rocman.Config{
+			Workload:       spec,
+			IO:             rocman.IORocpanda,
+			Profile:        profile,
+			BufferBW:       plat.MemcpyBW,
+			ServerBufferBW: 300e6,
+			StrideRealWork: 50,
+			MeasureRestart: true,
+			Rocpanda: rocpanda.Config{
+				NumServers:      n / 8,
+				ActiveBuffering: true,
+			},
+		}
+		rep, _, err := runOnce(plat, 1, plat.CPUsPerNode, n+n/8, cfg)
+		return rep, err
+	}
+	h4, err := run(hdf.HDF4Profile())
+	if err != nil {
+		return "", err
+	}
+	h5, err := run(hdf.HDF5Profile())
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation: scientific-library profile on Rocpanda restart (Turing, %d procs)\n", n)
+	fmt.Fprintf(&b, "  %-24s %12s %12s\n", "", "restart s", "visible s")
+	fmt.Fprintf(&b, "  %-24s %12.3f %12.3f\n", "HDF4 (linear DD list)", h4.VisibleRead, h4.VisibleWrite)
+	fmt.Fprintf(&b, "  %-24s %12.3f %12.3f\n", "HDF5 (indexed)", h5.VisibleRead, h5.VisibleWrite)
+	fmt.Fprintf(&b, "  HDF4/HDF5 restart ratio: %.1fx (the paper's motivation for Rochdf's smaller files)\n",
+		h4.VisibleRead/h5.VisibleRead)
+	return b.String(), nil
+}

@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"genxio/internal/cluster"
+	"genxio/internal/rocman"
+)
+
+// The experiment tests run heavily reduced configurations and assert the
+// paper's qualitative shapes, not absolute numbers — the full-scale runs
+// live behind cmd/genxbench and are recorded in EXPERIMENTS.md.
+
+func TestTable1SmallScaleShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulated Table 1 is expensive")
+	}
+	res, err := RunTable1(Table1Opts{Procs: []int{16, 32}, Scale: 0.1, Runs: 1, Stride: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows: %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.VisTRochdf >= row.VisRochdf/10 {
+			t.Errorf("n=%d: T-Rochdf %.3f not ~eliminated vs Rochdf %.3f", row.Procs, row.VisTRochdf, row.VisRochdf)
+		}
+		if row.VisRocpanda >= row.VisRochdf {
+			t.Errorf("n=%d: Rocpanda visible %.3f not below Rochdf %.3f", row.Procs, row.VisRocpanda, row.VisRochdf)
+		}
+		if row.RestartPanda <= row.RestartRochdf {
+			t.Errorf("n=%d: Rocpanda restart %.3f should exceed Rochdf %.3f", row.Procs, row.RestartPanda, row.RestartRochdf)
+		}
+		if row.FilesRochdf != row.Procs || row.FilesPanda != row.PandaServers {
+			t.Errorf("n=%d: files %d/%d, want %d/%d", row.Procs, row.FilesRochdf, row.FilesPanda, row.Procs, row.PandaServers)
+		}
+		if row.FilesRochdf/row.FilesPanda != 8 {
+			t.Errorf("n=%d: file reduction %d/%d, want 8x", row.Procs, row.FilesRochdf, row.FilesPanda)
+		}
+	}
+	// The fixed-size problem: computation time roughly halves.
+	r16, r32 := res.Rows[0], res.Rows[1]
+	ratio := r16.Compute / r32.Compute
+	if ratio < 1.6 || ratio > 2.4 {
+		t.Errorf("compute scaling 16->32 procs: ratio %.2f", ratio)
+	}
+	out := res.Format()
+	for _, want := range []string{"Table 1", "Rocpanda", "T-Rochdf", "restart"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format missing %q", want)
+		}
+	}
+}
+
+func TestFig3aSmallScaleShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulated Figure 3(a) is expensive")
+	}
+	res, err := RunFig3a(Fig3aOpts{Procs: []int{1, 15, 30, 60}, BytesPerProc: 128 << 10, Runs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := res.Points
+	if len(pts) != 4 {
+		t.Fatalf("points: %d", len(pts))
+	}
+	// Ramp within a node, then scaling with node count.
+	if pts[1].Panda.Mean <= pts[0].Panda.Mean {
+		t.Errorf("no intra-node ramp: %v -> %v", pts[0].Panda.Mean, pts[1].Panda.Mean)
+	}
+	if pts[3].Panda.Mean <= 1.5*pts[1].Panda.Mean {
+		t.Errorf("no multi-node scaling: %v at 15 vs %v at 60", pts[1].Panda.Mean, pts[3].Panda.Mean)
+	}
+	// Rocpanda beats Rochdf clearly at scale.
+	if pts[3].Panda.Mean <= 2*pts[3].Rochdf.Mean {
+		t.Errorf("Rocpanda %v not clearly above Rochdf %v at 60 procs", pts[3].Panda.Mean, pts[3].Rochdf.Mean)
+	}
+	if !strings.Contains(res.Format(), "throughput") {
+		t.Error("Format output malformed")
+	}
+}
+
+func TestFig3bSmallScaleShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulated Figure 3(b) is expensive")
+	}
+	res, err := RunFig3b(Fig3bOpts{Nodes: []int{1, 8}, Runs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, p8 := res.Points[0], res.Points[1]
+	// 16NS degrades with scale; 15NS and 15S stay within a few percent
+	// of each other.
+	if p8.T16NS.Mean <= p8.T15NS.Mean {
+		t.Errorf("at 8 nodes 16NS %.3f not above 15NS %.3f", p8.T16NS.Mean, p8.T15NS.Mean)
+	}
+	growth16 := p8.T16NS.Mean / p1.T16NS.Mean
+	growth15 := p8.T15NS.Mean / p1.T15NS.Mean
+	if growth16 <= growth15 {
+		t.Errorf("16NS growth %.3f not above 15NS growth %.3f", growth16, growth15)
+	}
+	if d := p8.T15S.Mean/p8.T15NS.Mean - 1; d > 0.05 || d < -0.05 {
+		t.Errorf("15S deviates %.1f%% from 15NS", 100*d)
+	}
+	if !strings.Contains(res.Format(), "16NS") {
+		t.Error("Format output malformed")
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablations are expensive")
+	}
+	res, err := RunAblations(AblationOpts{Scale: 0.08, Procs: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Format()
+	for _, want := range []string{"active buffering", "client:server ratio", "placement", "HDF4"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ablations missing %q section", want)
+		}
+	}
+}
+
+func TestBestOfPicksMinimum(t *testing.T) {
+	calls := 0
+	rep, _, err := bestOf(3,
+		func(r *rocman.Report) float64 { return r.ComputeTime },
+		func(seed uint64) (*rocman.Report, *cluster.World, error) {
+			calls++
+			return &rocman.Report{ComputeTime: float64(10 - seed)}, nil, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 3 || rep.ComputeTime != 7 {
+		t.Fatalf("calls=%d best=%v", calls, rep.ComputeTime)
+	}
+}

@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"genxio/internal/cluster"
+	"genxio/internal/hdf"
+	"genxio/internal/rocman"
+	"genxio/internal/rocpanda"
+	"genxio/internal/stats"
+	"genxio/internal/workload"
+)
+
+// Fig3aOpts configures the reproduction of Figure 3(a): apparent aggregate
+// write throughput on Frost versus the number of compute processors, with
+// a fixed amount of data per processor. Fifteen processors per SMP node
+// compute; with Rocpanda the sixteenth is a dedicated I/O server.
+type Fig3aOpts struct {
+	// Procs are the compute-processor counts (default 1..480 in the
+	// paper's progression).
+	Procs []int
+	// BytesPerProc is each compute processor's snapshot contribution.
+	BytesPerProc int64
+	// Runs per point (default 3; the paper averages three runs and
+	// shows 95% confidence intervals).
+	Runs int
+}
+
+func (o *Fig3aOpts) defaults() {
+	if len(o.Procs) == 0 {
+		o.Procs = []int{1, 2, 4, 8, 15, 30, 60, 120, 240, 480}
+	}
+	if o.BytesPerProc <= 0 {
+		o.BytesPerProc = 512 << 10
+	}
+	if o.Runs <= 0 {
+		o.Runs = 3
+	}
+}
+
+// Fig3aPoint is one x-position of the figure.
+type Fig3aPoint struct {
+	Procs   int
+	Servers int
+	Panda   stats.Summary // apparent aggregate MB/s
+	Rochdf  stats.Summary
+}
+
+// Fig3aResult holds the series.
+type Fig3aResult struct {
+	Opts   Fig3aOpts
+	Points []Fig3aPoint
+}
+
+// RunFig3a regenerates Figure 3(a) on the simulated Frost platform.
+func RunFig3a(opts Fig3aOpts) (*Fig3aResult, error) {
+	opts.defaults()
+	res := &Fig3aResult{Opts: opts}
+	plat := cluster.Frost()
+
+	for _, n := range opts.Procs {
+		spec := workload.Scalability(n, opts.BytesPerProc)
+		pt := Fig3aPoint{Procs: n}
+		m := (n + 14) / 15 // one server per node of 15 compute procs
+		pt.Servers = m
+
+		var panda, rochdf []float64
+		for run := 1; run <= opts.Runs; run++ {
+			seed := uint64(run)
+
+			cfg := rocman.Config{
+				Workload:       spec,
+				IO:             rocman.IORocpanda,
+				Profile:        hdf.HDF4Profile(),
+				BufferBW:       plat.MemcpyBW,
+				ServerBufferBW: 300e6,
+				StrideRealWork: spec.Steps, // timing-only: charge costs
+				Rocpanda: rocpanda.Config{
+					NumServers:       m,
+					ActiveBuffering:  true,
+					Placement:        rocpanda.Spread,
+					PerBlockOverhead: 3e-3,
+				},
+			}
+			rep, _, err := runOnce(plat, seed, 16, n+m, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("fig3a panda n=%d: %w", n, err)
+			}
+			panda = append(panda, throughputMBps(rep))
+
+			cfg.IO = rocman.IORochdf
+			rep, _, err = runOnce(plat, seed, 15, n, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("fig3a rochdf n=%d: %w", n, err)
+			}
+			rochdf = append(rochdf, throughputMBps(rep))
+		}
+		pt.Panda = stats.Summarize(panda)
+		pt.Rochdf = stats.Summarize(rochdf)
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+// throughputMBps computes the paper's apparent aggregate write throughput:
+// total output data divided by total visible output cost.
+func throughputMBps(rep *rocman.Report) float64 {
+	if rep.VisibleWrite <= 0 {
+		return 0
+	}
+	return float64(rep.BytesOut) / rep.VisibleWrite / 1e6
+}
+
+// Format prints the two series with confidence intervals and an ASCII
+// rendering of the curve shapes.
+func (r *Fig3aResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 3(a) — apparent aggregate write throughput on (simulated) Frost, MB/s\n")
+	fmt.Fprintf(&b, "fixed %.0f KB per compute processor per snapshot; mean of %d runs ± 95%% CI\n\n",
+		float64(r.Opts.BytesPerProc)/1024, r.Opts.Runs)
+	fmt.Fprintf(&b, "%8s %8s %20s %20s\n", "procs", "servers", "Rocpanda", "Rochdf")
+	var maxV float64
+	for _, p := range r.Points {
+		if p.Panda.Mean > maxV {
+			maxV = p.Panda.Mean
+		}
+		if p.Rochdf.Mean > maxV {
+			maxV = p.Rochdf.Mean
+		}
+	}
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%8d %8d %12.1f ±%6.1f %12.1f ±%6.1f  |%s\n",
+			p.Procs, p.Servers,
+			p.Panda.Mean, p.Panda.CI95,
+			p.Rochdf.Mean, p.Rochdf.CI95,
+			bar(p.Panda.Mean, maxV, 40))
+	}
+	last := r.Points[len(r.Points)-1]
+	fmt.Fprintf(&b, "\nRocpanda at %d procs: %.0f MB/s (paper: ~875 MB/s at 480+32 procs, >5x the best parallel HDF5 on Frost)\n",
+		last.Procs, last.Panda.Mean)
+	return b.String()
+}
+
+// bar renders a proportional ASCII bar.
+func bar(v, maxV float64, width int) string {
+	if maxV <= 0 {
+		return ""
+	}
+	n := int(v / maxV * float64(width))
+	if n < 0 {
+		n = 0
+	}
+	return strings.Repeat("#", n)
+}

@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"genxio/internal/cluster"
+	"genxio/internal/hdf"
+	"genxio/internal/rocman"
+	"genxio/internal/rocpanda"
+	"genxio/internal/stats"
+	"genxio/internal/workload"
+)
+
+// Fig3bOpts configures the reproduction of Figure 3(b): computation time
+// on Frost with a fixed amount of work per compute processor, under three
+// node configurations:
+//
+//	16NS — 16 compute processors per SMP node (no idle CPU, no server)
+//	15NS — 15 compute processors per node, one CPU left idle
+//	15S  — 15 compute processors per node, one Rocpanda server per node
+type Fig3bOpts struct {
+	// Nodes are the SMP node counts to sweep (default 1..32).
+	Nodes []int
+	// Runs per point (default 3).
+	Runs int
+}
+
+func (o *Fig3bOpts) defaults() {
+	if len(o.Nodes) == 0 {
+		o.Nodes = []int{1, 2, 4, 8, 16, 32}
+	}
+	if o.Runs <= 0 {
+		o.Runs = 3
+	}
+}
+
+// Fig3bPoint is one x-position of the figure.
+type Fig3bPoint struct {
+	Nodes   int
+	Procs16 int // compute procs in the 16NS case
+	T16NS   stats.Summary
+	T15NS   stats.Summary
+	T15S    stats.Summary
+}
+
+// Fig3bResult holds the series.
+type Fig3bResult struct {
+	Opts   Fig3bOpts
+	Points []Fig3bPoint
+}
+
+// RunFig3b regenerates Figure 3(b) on the simulated Frost platform.
+func RunFig3b(opts Fig3bOpts) (*Fig3bResult, error) {
+	opts.defaults()
+	res := &Fig3bResult{Opts: opts}
+	plat := cluster.Frost()
+
+	for _, nodes := range opts.Nodes {
+		pt := Fig3bPoint{Nodes: nodes, Procs16: 16 * nodes}
+		var t16, t15, t15s []float64
+		for run := 1; run <= opts.Runs; run++ {
+			seed := uint64(run)
+
+			measure := func(rpn, ncompute, total int, io rocman.IOKind, servers int) (float64, error) {
+				spec := workload.Scalability(ncompute, 256<<10)
+				cfg := rocman.Config{
+					Workload:       spec,
+					IO:             io,
+					Profile:        hdf.HDF4Profile(),
+					BufferBW:       plat.MemcpyBW,
+					ServerBufferBW: 300e6,
+					StrideRealWork: spec.Steps,
+				}
+				if io == rocman.IORocpanda {
+					cfg.Rocpanda = rocpanda.Config{
+						NumServers:       servers,
+						ActiveBuffering:  true,
+						Placement:        rocpanda.Spread,
+						PerBlockOverhead: 3e-3,
+					}
+				}
+				rep, _, err := runOnce(plat, seed, rpn, total, cfg)
+				if err != nil {
+					return 0, err
+				}
+				return rep.ComputeTime, nil
+			}
+
+			// 16NS: all 16 CPUs per node compute.
+			v, err := measure(16, 16*nodes, 16*nodes, rocman.IORochdf, 0)
+			if err != nil {
+				return nil, fmt.Errorf("fig3b 16NS nodes=%d: %w", nodes, err)
+			}
+			t16 = append(t16, v)
+
+			// 15NS: 15 compute, one CPU idle.
+			v, err = measure(15, 15*nodes, 15*nodes, rocman.IORochdf, 0)
+			if err != nil {
+				return nil, fmt.Errorf("fig3b 15NS nodes=%d: %w", nodes, err)
+			}
+			t15 = append(t15, v)
+
+			// 15S: 15 compute + 1 Rocpanda server per node.
+			v, err = measure(16, 15*nodes, 16*nodes, rocman.IORocpanda, nodes)
+			if err != nil {
+				return nil, fmt.Errorf("fig3b 15S nodes=%d: %w", nodes, err)
+			}
+			t15s = append(t15s, v)
+		}
+		pt.T16NS = stats.Summarize(t16)
+		pt.T15NS = stats.Summarize(t15)
+		pt.T15S = stats.Summarize(t15s)
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+// Format prints the three series.
+func (r *Fig3bResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 3(b) — computation time on (simulated) Frost, seconds\n")
+	fmt.Fprintf(&b, "fixed work per compute processor; mean of %d runs ± 95%% CI\n", r.Opts.Runs)
+	fmt.Fprintf(&b, "16NS: 16 compute/node   15NS: 15 compute/node, 1 idle   15S: 15 compute + 1 I/O server/node\n\n")
+	fmt.Fprintf(&b, "%6s %8s %18s %18s %18s\n", "nodes", "procs", "16NS", "15NS", "15S")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%6d %8d %10.2f ±%5.2f %10.2f ±%5.2f %10.2f ±%5.2f\n",
+			p.Nodes, p.Procs16,
+			p.T16NS.Mean, p.T16NS.CI95,
+			p.T15NS.Mean, p.T15NS.CI95,
+			p.T15S.Mean, p.T15S.CI95)
+	}
+	last := r.Points[len(r.Points)-1]
+	fmt.Fprintf(&b, "\nAt %d nodes: 16NS is %.1f%% slower than 15NS; 15S within %.1f%% of 15NS — dedicating one CPU per node to I/O also absorbs OS work (Section 7.2)\n",
+		last.Nodes,
+		100*(last.T16NS.Mean/last.T15NS.Mean-1),
+		100*(last.T15S.Mean/last.T15NS.Mean-1))
+	return b.String()
+}

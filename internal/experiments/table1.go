@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"genxio/internal/cluster"
+	"genxio/internal/hdf"
+	"genxio/internal/rocman"
+	"genxio/internal/rocpanda"
+	"genxio/internal/workload"
+)
+
+// Table1Opts configures the reproduction of Table 1 (Turing, lab-scale
+// rocket, 200 steps, snapshot every 50, ~64 MB per snapshot; Rocpanda at
+// an 8:1 client:server ratio).
+type Table1Opts struct {
+	// Procs are the compute-processor counts (default 16, 32, 64).
+	Procs []int
+	// Scale shrinks the workload's real mesh (1 = the paper's ~64 MB
+	// snapshots; smaller is faster and uses less memory).
+	Scale float64
+	// Runs is the best-of count (the paper reports the best of five).
+	Runs int
+	// Stride is the real-arithmetic stride (rocman.Config.StrideRealWork).
+	Stride int
+}
+
+func (o *Table1Opts) defaults() {
+	if len(o.Procs) == 0 {
+		o.Procs = []int{16, 32, 64}
+	}
+	if o.Scale <= 0 {
+		o.Scale = 1
+	}
+	if o.Runs <= 0 {
+		o.Runs = 5
+	}
+	if o.Stride <= 0 {
+		o.Stride = 50
+	}
+}
+
+// Table1Row is one column of the paper's Table 1 (one processor count).
+type Table1Row struct {
+	Procs          int
+	Compute        float64
+	VisRochdf      float64
+	VisTRochdf     float64
+	VisRocpanda    float64
+	RestartRochdf  float64
+	RestartPanda   float64
+	FilesRochdf    int // files per snapshot
+	FilesPanda     int
+	PandaServers   int
+	BytesPerSnap   int64
+	ReductionPanda float64 // VisRochdf / VisRocpanda
+}
+
+// Table1Result holds all rows plus the paper's reference numbers.
+type Table1Result struct {
+	Opts Table1Opts
+	Rows []Table1Row
+}
+
+// paperTable1 is Table 1 as printed in the paper, indexed by processor
+// count: compute, visible I/O (rochdf, t-rochdf, rocpanda), restart
+// (rochdf, rocpanda).
+var paperTable1 = map[int][6]float64{
+	16: {846.64, 51.58, 0.38, 2.40, 5.33, 69.9},
+	32: {393.05, 83.28, 0.18, 1.48, 1.93, 39.2},
+	64: {203.24, 51.19, 0.11, 1.94, 0.72, 18.2},
+}
+
+// RunTable1 regenerates Table 1 on the simulated Turing platform.
+func RunTable1(opts Table1Opts) (*Table1Result, error) {
+	opts.defaults()
+	res := &Table1Result{Opts: opts}
+	plat := cluster.Turing()
+	spec := workload.LabScale(opts.Scale)
+
+	for _, n := range opts.Procs {
+		row := Table1Row{Procs: n}
+
+		base := rocman.Config{
+			Workload:       spec,
+			Profile:        hdf.HDF4Profile(),
+			BufferBW:       plat.MemcpyBW,
+			ServerBufferBW: 300e6,
+			StrideRealWork: opts.Stride,
+			MeasureRestart: true,
+		}
+
+		// Rochdf: baseline; its run also provides the computation time
+		// and the Rochdf restart latency.
+		cfg := base
+		cfg.IO = rocman.IORochdf
+		rep, world, err := bestOf(opts.Runs,
+			func(r *rocman.Report) float64 { return r.ComputeTime + r.VisibleWrite },
+			func(seed uint64) (*rocman.Report, *cluster.World, error) {
+				return runOnce(plat, seed, plat.CPUsPerNode, n, cfg)
+			})
+		if err != nil {
+			return nil, fmt.Errorf("table1 rochdf n=%d: %w", n, err)
+		}
+		row.Compute = rep.ComputeTime
+		row.VisRochdf = rep.VisibleWrite
+		row.RestartRochdf = rep.VisibleRead
+		row.FilesRochdf = countSnapshotFiles(world, "out/snap000200")
+		row.BytesPerSnap = rep.BytesOut / int64(rep.Snapshots)
+
+		// T-Rochdf.
+		cfg = base
+		cfg.IO = rocman.IOTRochdf
+		cfg.MeasureRestart = false // T-Rochdf restarts like Rochdf
+		rep, _, err = bestOf(opts.Runs,
+			func(r *rocman.Report) float64 { return r.VisibleWrite },
+			func(seed uint64) (*rocman.Report, *cluster.World, error) {
+				return runOnce(plat, seed, plat.CPUsPerNode, n, cfg)
+			})
+		if err != nil {
+			return nil, fmt.Errorf("table1 t-rochdf n=%d: %w", n, err)
+		}
+		row.VisTRochdf = rep.VisibleWrite
+
+		// Rocpanda at the paper's fixed 8:1 ratio: extra dedicated
+		// server processors on top of the n compute processors.
+		cfg = base
+		cfg.IO = rocman.IORocpanda
+		cfg.Rocpanda = rocpanda.Config{
+			NumServers:      n / 8,
+			ActiveBuffering: true,
+			Placement:       rocpanda.Spread,
+		}
+		total := n + n/8
+		rep, world, err = bestOf(opts.Runs,
+			func(r *rocman.Report) float64 { return r.VisibleWrite },
+			func(seed uint64) (*rocman.Report, *cluster.World, error) {
+				return runOnce(plat, seed, plat.CPUsPerNode, total, cfg)
+			})
+		if err != nil {
+			return nil, fmt.Errorf("table1 rocpanda n=%d: %w", n, err)
+		}
+		row.VisRocpanda = rep.VisibleWrite
+		row.RestartPanda = rep.VisibleRead
+		row.PandaServers = rep.NumServers
+		row.FilesPanda = countSnapshotFiles(world, "out/snap000200")
+		if row.VisRocpanda > 0 {
+			row.ReductionPanda = row.VisRochdf / row.VisRocpanda
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Format prints the table in the paper's layout with the paper's values
+// alongside.
+func (r *Table1Result) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1 — computation and I/O times on (simulated) Turing, seconds\n")
+	fmt.Fprintf(&b, "workload scale %.2f, best of %d runs; paper values in parentheses\n\n", r.Opts.Scale, r.Opts.Runs)
+	fmt.Fprintf(&b, "%-26s", "compute processors")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%22d", row.Procs)
+	}
+	b.WriteByte('\n')
+	line := func(label string, get func(Table1Row) float64, paperIdx int) {
+		fmt.Fprintf(&b, "%-26s", label)
+		for _, row := range r.Rows {
+			paper := "    -"
+			if p, ok := paperTable1[row.Procs]; ok {
+				paper = fmt.Sprintf("%.2f", p[paperIdx])
+			}
+			fmt.Fprintf(&b, "%12.2f (%s)", get(row), paper)
+		}
+		b.WriteByte('\n')
+	}
+	line("computation time", func(r Table1Row) float64 { return r.Compute }, 0)
+	line("visible I/O  Rochdf", func(r Table1Row) float64 { return r.VisRochdf }, 1)
+	line("visible I/O  T-Rochdf", func(r Table1Row) float64 { return r.VisTRochdf }, 2)
+	line("visible I/O  Rocpanda", func(r Table1Row) float64 { return r.VisRocpanda }, 3)
+	line("restart      Rochdf", func(r Table1Row) float64 { return r.RestartRochdf }, 4)
+	line("restart      Rocpanda", func(r Table1Row) float64 { return r.RestartPanda }, 5)
+	b.WriteByte('\n')
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "n=%d: %d files/snapshot (Rochdf) vs %d (Rocpanda, %d servers): %.0fx fewer; visible-I/O reduction %.0fx; ~%.1f MB/snapshot\n",
+			row.Procs, row.FilesRochdf, row.FilesPanda, row.PandaServers,
+			float64(row.FilesRochdf)/float64(max(1, row.FilesPanda)),
+			row.ReductionPanda, float64(row.BytesPerSnap)/1e6)
+	}
+	return b.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,89 @@
+package fssim
+
+import "genxio/internal/rt"
+
+// costOps is what a filesystem model charges per operation class. The
+// openWrite/closeWrite hooks are called synchronously (before any charging)
+// when a write stream opens or closes, so models can base contention on the
+// number of concurrently open write streams.
+type costOps interface {
+	meta()          // metadata op: create/open/remove/list/stat
+	write(size int) // data write of size bytes
+	read(size int)  // data read of size bytes
+	openWrite()
+	closeWrite()
+}
+
+// costFS wraps a real byte store with per-operation time charging; it is
+// the rt.FS implementation handed to simulated processes.
+type costFS struct {
+	fs  rt.FS
+	ops costOps
+}
+
+func (c *costFS) Create(name string) (rt.File, error) {
+	c.ops.openWrite()
+	c.ops.meta()
+	f, err := c.fs.Create(name)
+	if err != nil {
+		c.ops.closeWrite()
+		return nil, err
+	}
+	return &costFile{f: f, ops: c.ops, writeStream: true}, nil
+}
+
+func (c *costFS) Open(name string) (rt.File, error) {
+	c.ops.meta()
+	f, err := c.fs.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &costFile{f: f, ops: c.ops}, nil
+}
+
+func (c *costFS) Remove(name string) error {
+	c.ops.meta()
+	return c.fs.Remove(name)
+}
+
+func (c *costFS) List(prefix string) ([]string, error) {
+	c.ops.meta()
+	return c.fs.List(prefix)
+}
+
+func (c *costFS) Stat(name string) (int64, error) {
+	c.ops.meta()
+	return c.fs.Stat(name)
+}
+
+type costFile struct {
+	f           rt.File
+	ops         costOps
+	writeStream bool
+	closed      bool
+}
+
+func (c *costFile) Name() string { return c.f.Name() }
+
+func (c *costFile) ReadAt(p []byte, off int64) (int, error) {
+	c.ops.read(len(p))
+	return c.f.ReadAt(p, off)
+}
+
+func (c *costFile) WriteAt(p []byte, off int64) (int, error) {
+	c.ops.write(len(p))
+	return c.f.WriteAt(p, off)
+}
+
+func (c *costFile) Size() (int64, error) { return c.f.Size() }
+
+func (c *costFile) Truncate(size int64) error { return c.f.Truncate(size) }
+
+func (c *costFile) Close() error {
+	if c.writeStream && !c.closed {
+		c.ops.closeWrite()
+	}
+	c.closed = true
+	c.ops.meta()
+	return c.f.Close()
+}

@@ -1,0 +1,82 @@
+package hdf
+
+import "math"
+
+// CostProfile models the dataset-management overhead of the underlying
+// scientific I/O library, charged to the calling process's clock on top of
+// the byte-transfer cost charged by the filesystem. The paper (and its
+// reference [13]) reports that HDF4's per-dataset access cost grows with
+// the number of datasets already in a file — its data descriptors form a
+// linearly scanned list — while HDF5 scales much better (indexed).
+//
+// Charged costs:
+//
+//	create k-th dataset: CreateBase + CreatePer * growth(k)
+//	lookup in a file of n datasets: LookupBase + LookupPer * growth(n)
+//
+// where growth is k for Linear profiles and log2(1+k) for Log profiles.
+type CostProfile struct {
+	Name       string
+	CreateBase float64
+	CreatePer  float64
+	LookupBase float64
+	LookupPer  float64
+	Log        bool // false: linear growth (HDF4); true: logarithmic (HDF5)
+}
+
+func (c CostProfile) growth(k int) float64 {
+	if k < 0 {
+		k = 0
+	}
+	if c.Log {
+		return math.Log2(1 + float64(k))
+	}
+	return float64(k)
+}
+
+// CreateCost returns the overhead of creating one more dataset in a file
+// that already holds existing datasets.
+func (c CostProfile) CreateCost(existing int) float64 {
+	return c.CreateBase + c.CreatePer*c.growth(existing)
+}
+
+// LookupCost returns the overhead of locating one dataset in a file holding
+// total datasets.
+func (c CostProfile) LookupCost(total int) float64 {
+	return c.LookupBase + c.LookupPer*c.growth(total)
+}
+
+// OpenCost returns the overhead of opening a file holding total datasets
+// (reading its directory).
+func (c CostProfile) OpenCost(total int) float64 {
+	return c.LookupBase + c.LookupPer*c.growth(total)/2
+}
+
+// HDF4Profile returns the linear-scan profile: per-dataset cost grows with
+// file population, matching the HDF4 behaviour the paper relies on.
+func HDF4Profile() CostProfile {
+	return CostProfile{
+		Name:       "hdf4",
+		CreateBase: 300e-6,
+		CreatePer:  3e-6,
+		LookupBase: 150e-6,
+		LookupPer:  3.5e-6,
+		Log:        false,
+	}
+}
+
+// HDF5Profile returns the indexed profile with logarithmic growth.
+func HDF5Profile() CostProfile {
+	return CostProfile{
+		Name:       "hdf5",
+		CreateBase: 450e-6,
+		CreatePer:  25e-6,
+		LookupBase: 200e-6,
+		LookupPer:  30e-6,
+		Log:        true,
+	}
+}
+
+// NullProfile charges nothing; use it when running for real (the real cost
+// is the code itself).
+func NullProfile() CostProfile { return CostProfile{Name: "null"} }

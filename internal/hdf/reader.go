@@ -1,0 +1,242 @@
+package hdf
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strings"
+
+	"genxio/internal/rt"
+)
+
+// Reader reads an RHDF file.
+type Reader struct {
+	f      rt.File
+	clock  rt.Clock
+	cost   CostProfile
+	sets   []*Dataset
+	names  map[string]int
+	dirOff int64
+}
+
+// Open opens an RHDF file for reading and parses its directory, charging
+// the profile's open cost.
+func Open(fsys rt.FS, name string, clock rt.Clock, cost CostProfile) (*Reader, error) {
+	f, err := fsys.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	r, err := newReader(f, clock, cost)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return r, nil
+}
+
+func newReader(f rt.File, clock rt.Clock, cost CostProfile) (*Reader, error) {
+	hdr := make([]byte, headerSize)
+	if _, err := f.ReadAt(hdr, 0); err != nil {
+		return nil, fmt.Errorf("hdf: reading header of %s: %w", f.Name(), err)
+	}
+	if string(hdr[:4]) != Magic {
+		return nil, fmt.Errorf("hdf: %s is not an RHDF file", f.Name())
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != Version {
+		return nil, fmt.Errorf("hdf: %s has version %d, want %d", f.Name(), v, Version)
+	}
+	dirOff := int64(binary.LittleEndian.Uint64(hdr[8:]))
+	count := int(binary.LittleEndian.Uint32(hdr[16:]))
+	if dirOff == 0 {
+		return nil, fmt.Errorf("hdf: %s has no directory (incomplete write?)", f.Name())
+	}
+	size, err := f.Size()
+	if err != nil {
+		return nil, err
+	}
+	if dirOff > size {
+		return nil, fmt.Errorf("hdf: %s directory offset %d beyond EOF %d", f.Name(), dirOff, size)
+	}
+	dir := make([]byte, size-dirOff)
+	if _, err := f.ReadAt(dir, dirOff); err != nil {
+		return nil, fmt.Errorf("hdf: reading directory of %s: %w", f.Name(), err)
+	}
+	sets, err := decodeDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("hdf: %s: %w", f.Name(), err)
+	}
+	if len(sets) != count {
+		return nil, fmt.Errorf("hdf: %s header says %d datasets, directory has %d", f.Name(), count, len(sets))
+	}
+	r := &Reader{f: f, clock: clock, cost: cost, sets: sets, names: make(map[string]int, len(sets)), dirOff: dirOff}
+	for i, d := range sets {
+		r.names[d.Name] = i
+	}
+	clock.Compute(cost.OpenCost(len(sets)))
+	return r, nil
+}
+
+// NumDatasets returns the number of datasets in the file.
+func (r *Reader) NumDatasets() int { return len(r.sets) }
+
+// Datasets returns all dataset descriptors in file order.
+func (r *Reader) Datasets() []*Dataset { return r.sets }
+
+// Names returns all dataset names in file order.
+func (r *Reader) Names() []string {
+	out := make([]string, len(r.sets))
+	for i, d := range r.sets {
+		out[i] = d.Name
+	}
+	return out
+}
+
+// Lookup finds a dataset by name, charging the profile's lookup cost.
+func (r *Reader) Lookup(name string) (*Dataset, bool) {
+	r.clock.Compute(r.cost.LookupCost(len(r.sets)))
+	i, ok := r.names[name]
+	if !ok {
+		return nil, false
+	}
+	return r.sets[i], true
+}
+
+// LookupPrefix returns all datasets whose name starts with prefix, in file
+// order, charging one lookup.
+func (r *Reader) LookupPrefix(prefix string) []*Dataset {
+	r.clock.Compute(r.cost.LookupCost(len(r.sets)))
+	var out []*Dataset
+	for _, d := range r.sets {
+		if strings.HasPrefix(d.Name, prefix) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// ReadData reads a dataset's logical bytes, inflating deflate-compressed
+// storage transparently.
+func (r *Reader) ReadData(d *Dataset) ([]byte, error) {
+	buf := make([]byte, d.length)
+	if _, err := r.f.ReadAt(buf, d.offset); err != nil {
+		return nil, fmt.Errorf("hdf: reading %q: %w", d.Name, err)
+	}
+	if !d.Compressed() {
+		return buf, nil
+	}
+	logical := d.Len() * int64(d.Type.Size())
+	zr := flate.NewReader(bytes.NewReader(buf))
+	out, err := io.ReadAll(io.LimitReader(zr, logical+1))
+	if err != nil {
+		return nil, fmt.Errorf("hdf: inflating %q: %w", d.Name, err)
+	}
+	if int64(len(out)) != logical {
+		return nil, fmt.Errorf("hdf: %q inflated to %d bytes, want %d", d.Name, len(out), logical)
+	}
+	return out, nil
+}
+
+// Close closes the underlying file.
+func (r *Reader) Close() error { return r.f.Close() }
+
+func decodeDir(b []byte) ([]*Dataset, error) {
+	p := &parser{b: b}
+	n := int(p.u32())
+	sets := make([]*Dataset, 0, n)
+	for i := 0; i < n; i++ {
+		d := &Dataset{}
+		d.Name = p.str()
+		d.Type = DType(p.u8())
+		d.flags = p.u8()
+		nd := int(p.u8())
+		d.Dims = make([]int64, nd)
+		for j := range d.Dims {
+			d.Dims[j] = int64(p.u64())
+		}
+		d.offset = int64(p.u64())
+		d.length = int64(p.u64())
+		na := int(p.u16())
+		d.Attrs = make([]Attr, na)
+		for j := range d.Attrs {
+			d.Attrs[j].Name = p.str()
+			d.Attrs[j].Type = DType(p.u8())
+			ln := int(p.u32())
+			d.Attrs[j].Data = p.bytes(ln)
+		}
+		if p.err != nil {
+			return nil, fmt.Errorf("corrupt directory at dataset %d: %w", i, p.err)
+		}
+		sets = append(sets, d)
+	}
+	return sets, nil
+}
+
+// parser is a bounds-checked little-endian cursor.
+type parser struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (p *parser) need(n int) bool {
+	if p.err != nil {
+		return false
+	}
+	if p.off+n > len(p.b) {
+		p.err = fmt.Errorf("truncated at offset %d (need %d of %d)", p.off, n, len(p.b))
+		return false
+	}
+	return true
+}
+
+func (p *parser) u8() uint8 {
+	if !p.need(1) {
+		return 0
+	}
+	v := p.b[p.off]
+	p.off++
+	return v
+}
+
+func (p *parser) u16() uint16 {
+	if !p.need(2) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(p.b[p.off:])
+	p.off += 2
+	return v
+}
+
+func (p *parser) u32() uint32 {
+	if !p.need(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(p.b[p.off:])
+	p.off += 4
+	return v
+}
+
+func (p *parser) u64() uint64 {
+	if !p.need(8) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(p.b[p.off:])
+	p.off += 8
+	return v
+}
+
+func (p *parser) bytes(n int) []byte {
+	if !p.need(n) {
+		return nil
+	}
+	v := append([]byte(nil), p.b[p.off:p.off+n]...)
+	p.off += n
+	return v
+}
+
+func (p *parser) str() string {
+	n := int(p.u16())
+	return string(p.bytes(n))
+}

@@ -1,0 +1,267 @@
+// Package mesh provides the mesh-block machinery GENx's data distribution
+// is built on: the simulation domain is pre-partitioned into a large number
+// of mesh blocks of irregular sizes, each processor owns a set of blocks,
+// and blocks change over time through adaptive refinement. A data block
+// (the paper's unit of I/O) is a mesh block plus the field arrays attached
+// to it by the physics modules via Roccom.
+//
+// Both mesh styles used by GENx are supported: multi-block structured
+// grids (Rocflo-style) and unstructured tetrahedral blocks (Rocflu/
+// Rocfrac-style).
+package mesh
+
+import (
+	"fmt"
+	"math"
+
+	"genxio/internal/stats"
+)
+
+// Kind distinguishes structured from unstructured blocks.
+type Kind uint8
+
+// Block kinds.
+const (
+	Structured Kind = iota + 1
+	Unstructured
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case Structured:
+		return "structured"
+	case Unstructured:
+		return "unstructured"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Block is one mesh block. Structured blocks have NI×NJ×NK nodes with
+// implicit hexahedral connectivity; unstructured blocks have an explicit
+// tetrahedral connectivity. Coords holds xyz triples, node-major.
+type Block struct {
+	ID   int
+	Kind Kind
+
+	// Structured extent in nodes (>= 2 each); unset for unstructured.
+	NI, NJ, NK int
+
+	Coords []float64 // 3 * NumNodes
+
+	// Conn holds 4 local node indices per tetrahedron; unstructured only.
+	Conn []int32
+
+	// Level is the refinement level (0 for as-generated blocks).
+	Level int
+}
+
+// NumNodes returns the number of mesh nodes in the block.
+func (b *Block) NumNodes() int { return len(b.Coords) / 3 }
+
+// NumElems returns the number of elements (hexahedra or tetrahedra).
+func (b *Block) NumElems() int {
+	if b.Kind == Structured {
+		return (b.NI - 1) * (b.NJ - 1) * (b.NK - 1)
+	}
+	return len(b.Conn) / 4
+}
+
+// nodeIndex returns the node-major index of structured node (i,j,k).
+func (b *Block) nodeIndex(i, j, k int) int {
+	return (k*b.NJ+j)*b.NI + i
+}
+
+// Node returns the coordinates of node n.
+func (b *Block) Node(n int) (x, y, z float64) {
+	return b.Coords[3*n], b.Coords[3*n+1], b.Coords[3*n+2]
+}
+
+// Validate checks structural invariants and returns a descriptive error on
+// the first violation.
+func (b *Block) Validate() error {
+	switch b.Kind {
+	case Structured:
+		if b.NI < 2 || b.NJ < 2 || b.NK < 2 {
+			return fmt.Errorf("mesh: block %d extent %dx%dx%d below 2", b.ID, b.NI, b.NJ, b.NK)
+		}
+		if want := b.NI * b.NJ * b.NK; b.NumNodes() != want {
+			return fmt.Errorf("mesh: block %d has %d nodes, extent implies %d", b.ID, b.NumNodes(), want)
+		}
+		if len(b.Conn) != 0 {
+			return fmt.Errorf("mesh: structured block %d carries connectivity", b.ID)
+		}
+	case Unstructured:
+		if len(b.Conn)%4 != 0 {
+			return fmt.Errorf("mesh: block %d connectivity length %d not a multiple of 4", b.ID, len(b.Conn))
+		}
+		n := int32(b.NumNodes())
+		for i, v := range b.Conn {
+			if v < 0 || v >= n {
+				return fmt.Errorf("mesh: block %d conn[%d]=%d out of range [0,%d)", b.ID, i, v, n)
+			}
+		}
+	default:
+		return fmt.Errorf("mesh: block %d has invalid kind %d", b.ID, b.Kind)
+	}
+	if len(b.Coords)%3 != 0 {
+		return fmt.Errorf("mesh: block %d coords length %d not a multiple of 3", b.ID, len(b.Coords))
+	}
+	for i, c := range b.Coords {
+		if math.IsNaN(c) || math.IsInf(c, 0) {
+			return fmt.Errorf("mesh: block %d coord %d is %v", b.ID, i, c)
+		}
+	}
+	return nil
+}
+
+// Bounds returns the axis-aligned bounding box of the block.
+func (b *Block) Bounds() (min, max [3]float64) {
+	for d := 0; d < 3; d++ {
+		min[d] = math.Inf(1)
+		max[d] = math.Inf(-1)
+	}
+	for n := 0; n < b.NumNodes(); n++ {
+		for d := 0; d < 3; d++ {
+			c := b.Coords[3*n+d]
+			if c < min[d] {
+				min[d] = c
+			}
+			if c > max[d] {
+				max[d] = c
+			}
+		}
+	}
+	return min, max
+}
+
+// CylinderSpec describes a multi-block structured mesh of a cylindrical
+// rocket-motor segment: a shell from RInner to ROuter, length L, tiled into
+// BR×BT×BZ blocks (radial × circumferential × axial). Per-block node
+// counts are drawn around NodesPerBlock with multiplicative spread Spread,
+// giving the irregular block-size distribution the paper describes.
+type CylinderSpec struct {
+	RInner, ROuter float64
+	Length         float64
+	BR, BT, BZ     int
+	NodesPerBlock  int
+	Spread         float64 // lognormal sigma; 0 for uniform blocks
+}
+
+// GenCylinder generates the blocks of spec, numbering them consecutively
+// from firstID. All randomness comes from rng, so a seed fully determines
+// the mesh.
+func GenCylinder(spec CylinderSpec, firstID int, rng *stats.RNG) ([]*Block, error) {
+	if spec.BR < 1 || spec.BT < 1 || spec.BZ < 1 {
+		return nil, fmt.Errorf("mesh: cylinder block grid %dx%dx%d invalid", spec.BR, spec.BT, spec.BZ)
+	}
+	if spec.RInner <= 0 || spec.ROuter <= spec.RInner || spec.Length <= 0 {
+		return nil, fmt.Errorf("mesh: cylinder geometry r=[%g,%g] L=%g invalid",
+			spec.RInner, spec.ROuter, spec.Length)
+	}
+	if spec.NodesPerBlock < 8 {
+		return nil, fmt.Errorf("mesh: NodesPerBlock %d < 8", spec.NodesPerBlock)
+	}
+	var blocks []*Block
+	id := firstID
+	for br := 0; br < spec.BR; br++ {
+		for bt := 0; bt < spec.BT; bt++ {
+			for bz := 0; bz < spec.BZ; bz++ {
+				target := float64(spec.NodesPerBlock)
+				if spec.Spread > 0 {
+					target = rng.LogNormalAround(target, spec.Spread)
+				}
+				// Aspect ~ 1:2:2 (radial thin, tangential and
+				// axial longer), at least 2 nodes per direction.
+				side := math.Cbrt(target / 4)
+				ni := clampInt(int(math.Round(side)), 2, 1<<12)
+				nj := clampInt(int(math.Round(2*side)), 2, 1<<12)
+				nk := clampInt(int(math.Round(2*side)), 2, 1<<12)
+				b := &Block{ID: id, Kind: Structured, NI: ni, NJ: nj, NK: nk}
+				b.Coords = make([]float64, 3*ni*nj*nk)
+				r0 := spec.RInner + (spec.ROuter-spec.RInner)*float64(br)/float64(spec.BR)
+				r1 := spec.RInner + (spec.ROuter-spec.RInner)*float64(br+1)/float64(spec.BR)
+				t0 := 2 * math.Pi * float64(bt) / float64(spec.BT)
+				t1 := 2 * math.Pi * float64(bt+1) / float64(spec.BT)
+				z0 := spec.Length * float64(bz) / float64(spec.BZ)
+				z1 := spec.Length * float64(bz+1) / float64(spec.BZ)
+				for k := 0; k < nk; k++ {
+					z := lerp(z0, z1, frac(k, nk))
+					for j := 0; j < nj; j++ {
+						theta := lerp(t0, t1, frac(j, nj))
+						for i := 0; i < ni; i++ {
+							r := lerp(r0, r1, frac(i, ni))
+							n := b.nodeIndex(i, j, k)
+							b.Coords[3*n] = r * math.Cos(theta)
+							b.Coords[3*n+1] = r * math.Sin(theta)
+							b.Coords[3*n+2] = z
+						}
+					}
+				}
+				blocks = append(blocks, b)
+				id++
+			}
+		}
+	}
+	return blocks, nil
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func lerp(a, b, t float64) float64 { return a + (b-a)*t }
+
+func frac(i, n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	return float64(i) / float64(n-1)
+}
+
+// Tetrahedralize converts a structured block into an unstructured block
+// with the same nodes, splitting each hexahedral cell into 5 tetrahedra
+// (Rocfrac-style solid meshes).
+func Tetrahedralize(b *Block) (*Block, error) {
+	if b.Kind != Structured {
+		return nil, fmt.Errorf("mesh: Tetrahedralize needs a structured block, got %v", b.Kind)
+	}
+	out := &Block{
+		ID:     b.ID,
+		Kind:   Unstructured,
+		Coords: append([]float64(nil), b.Coords...),
+		Level:  b.Level,
+	}
+	// The 5-tet decomposition of a hex with corners c[0..7]
+	// (i,j,k bit order): parity-alternated so faces of neighbor cells
+	// match.
+	even := [5][4]int{{0, 1, 3, 5}, {0, 3, 2, 6}, {0, 5, 4, 6}, {3, 5, 6, 7}, {0, 3, 6, 5}}
+	odd := [5][4]int{{1, 0, 2, 4}, {1, 2, 3, 7}, {1, 4, 5, 7}, {2, 4, 7, 6}, {1, 2, 7, 4}}
+	out.Conn = make([]int32, 0, 20*b.NumElems())
+	for k := 0; k < b.NK-1; k++ {
+		for j := 0; j < b.NJ-1; j++ {
+			for i := 0; i < b.NI-1; i++ {
+				var c [8]int
+				for bit := 0; bit < 8; bit++ {
+					c[bit] = b.nodeIndex(i+bit&1, j+bit>>1&1, k+bit>>2&1)
+				}
+				pat := even
+				if (i+j+k)%2 == 1 {
+					pat = odd
+				}
+				for _, tet := range pat {
+					for _, v := range tet {
+						out.Conn = append(out.Conn, int32(c[v]))
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,311 @@
+package mesh
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"genxio/internal/stats"
+)
+
+func testSpec() CylinderSpec {
+	return CylinderSpec{
+		RInner: 0.1, ROuter: 0.5, Length: 2.0,
+		BR: 2, BT: 4, BZ: 3,
+		NodesPerBlock: 300, Spread: 0.4,
+	}
+}
+
+func TestGenCylinder(t *testing.T) {
+	rng := stats.NewRNG(1)
+	blocks, err := GenCylinder(testSpec(), 100, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 2*4*3 {
+		t.Fatalf("got %d blocks, want 24", len(blocks))
+	}
+	ids := map[int]bool{}
+	sizes := map[int]bool{}
+	for i, b := range blocks {
+		if err := b.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if b.ID != 100+i {
+			t.Fatalf("block %d has ID %d", i, b.ID)
+		}
+		if ids[b.ID] {
+			t.Fatalf("duplicate ID %d", b.ID)
+		}
+		ids[b.ID] = true
+		sizes[b.NumNodes()] = true
+		// Geometry: nodes must lie within the cylindrical shell.
+		for n := 0; n < b.NumNodes(); n++ {
+			x, y, z := b.Node(n)
+			r := math.Hypot(x, y)
+			if r < 0.1-1e-9 || r > 0.5+1e-9 {
+				t.Fatalf("node radius %v outside shell", r)
+			}
+			if z < -1e-9 || z > 2.0+1e-9 {
+				t.Fatalf("node z %v outside length", z)
+			}
+		}
+	}
+	if len(sizes) < 5 {
+		t.Fatalf("only %d distinct block sizes; expected irregular sizes", len(sizes))
+	}
+}
+
+func TestGenCylinderDeterministic(t *testing.T) {
+	a, _ := GenCylinder(testSpec(), 0, stats.NewRNG(7))
+	b, _ := GenCylinder(testSpec(), 0, stats.NewRNG(7))
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i].NumNodes() != b[i].NumNodes() {
+			t.Fatalf("block %d sizes differ", i)
+		}
+	}
+}
+
+func TestGenCylinderRejectsBadSpec(t *testing.T) {
+	rng := stats.NewRNG(1)
+	bad := []CylinderSpec{
+		{RInner: 0.5, ROuter: 0.1, Length: 1, BR: 1, BT: 1, BZ: 1, NodesPerBlock: 100},
+		{RInner: 0.1, ROuter: 0.5, Length: 1, BR: 0, BT: 1, BZ: 1, NodesPerBlock: 100},
+		{RInner: 0.1, ROuter: 0.5, Length: 1, BR: 1, BT: 1, BZ: 1, NodesPerBlock: 2},
+		{RInner: 0.1, ROuter: 0.5, Length: -1, BR: 1, BT: 1, BZ: 1, NodesPerBlock: 100},
+	}
+	for i, spec := range bad {
+		if _, err := GenCylinder(spec, 0, rng); err == nil {
+			t.Fatalf("spec %d accepted", i)
+		}
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	rng := stats.NewRNG(2)
+	blocks, _ := GenCylinder(testSpec(), 0, rng)
+	b := blocks[0]
+	b.Coords[5] = math.NaN()
+	if b.Validate() == nil {
+		t.Fatal("NaN coordinate accepted")
+	}
+	b.Coords[5] = 0
+	b.NI = 1
+	if b.Validate() == nil {
+		t.Fatal("degenerate extent accepted")
+	}
+}
+
+func TestTetrahedralize(t *testing.T) {
+	rng := stats.NewRNG(3)
+	blocks, _ := GenCylinder(CylinderSpec{
+		RInner: 0.1, ROuter: 0.2, Length: 0.5,
+		BR: 1, BT: 1, BZ: 1, NodesPerBlock: 200,
+	}, 0, rng)
+	hex := blocks[0]
+	tet, err := Tetrahedralize(hex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tet.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tet.NumNodes() != hex.NumNodes() {
+		t.Fatalf("node count changed: %d -> %d", hex.NumNodes(), tet.NumNodes())
+	}
+	if tet.NumElems() != 5*hex.NumElems() {
+		t.Fatalf("tets = %d, want 5 * %d", tet.NumElems(), hex.NumElems())
+	}
+	// Total tet volume must equal the hex-cell volume sum (the 5-tet
+	// decomposition is exact).
+	var vol float64
+	for e := 0; e < tet.NumElems(); e++ {
+		var p [4][3]float64
+		for v := 0; v < 4; v++ {
+			n := tet.Conn[4*e+v]
+			p[v][0], p[v][1], p[v][2] = tet.Node(int(n))
+		}
+		vol += tetVolume(p)
+	}
+	if vol <= 0 {
+		t.Fatalf("total volume %v not positive", vol)
+	}
+	if _, err := Tetrahedralize(tet); err == nil {
+		t.Fatal("tetrahedralizing an unstructured block accepted")
+	}
+}
+
+func tetVolume(p [4][3]float64) float64 {
+	var a, b, c [3]float64
+	for d := 0; d < 3; d++ {
+		a[d] = p[1][d] - p[0][d]
+		b[d] = p[2][d] - p[0][d]
+		c[d] = p[3][d] - p[0][d]
+	}
+	det := a[0]*(b[1]*c[2]-b[2]*c[1]) - a[1]*(b[0]*c[2]-b[2]*c[0]) + a[2]*(b[0]*c[1]-b[1]*c[0])
+	return math.Abs(det) / 6
+}
+
+func TestPartitionInvariants(t *testing.T) {
+	rng := stats.NewRNG(4)
+	spec := testSpec()
+	spec.BR, spec.BT, spec.BZ = 4, 8, 5 // 160 blocks
+	blocks, _ := GenCylinder(spec, 0, rng)
+	for _, np := range []int{1, 2, 7, 16, 64} {
+		assign, err := Partition(blocks, np)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(assign) != np {
+			t.Fatalf("np=%d len(assign)=%d", np, len(assign))
+		}
+		seen := make([]bool, len(blocks))
+		for _, idxs := range assign {
+			for _, i := range idxs {
+				if seen[i] {
+					t.Fatalf("np=%d block %d assigned twice", np, i)
+				}
+				seen[i] = true
+			}
+		}
+		for i, s := range seen {
+			if !s {
+				t.Fatalf("np=%d block %d unassigned", np, i)
+			}
+		}
+		if imb := Imbalance(blocks, assign); np <= 64 && imb > 1.6 {
+			t.Fatalf("np=%d imbalance %v too high", np, imb)
+		}
+	}
+}
+
+func TestPartitionMoreProcsThanBlocks(t *testing.T) {
+	rng := stats.NewRNG(5)
+	blocks, _ := GenCylinder(CylinderSpec{
+		RInner: 0.1, ROuter: 0.2, Length: 0.5,
+		BR: 1, BT: 2, BZ: 1, NodesPerBlock: 100,
+	}, 0, rng)
+	assign, err := Partition(blocks, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonEmpty := 0
+	for _, idxs := range assign {
+		if len(idxs) > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty != 2 {
+		t.Fatalf("nonEmpty = %d, want 2", nonEmpty)
+	}
+	if _, err := Partition(blocks, 0); err == nil {
+		t.Fatal("Partition(0) accepted")
+	}
+}
+
+func TestPartitionProperty(t *testing.T) {
+	f := func(weights []uint16, npRaw uint8) bool {
+		np := int(npRaw%16) + 1
+		blocks := make([]*Block, len(weights))
+		for i, w := range weights {
+			n := int(w%500) + 8
+			blocks[i] = &Block{ID: i, Kind: Unstructured, Coords: make([]float64, 3*n)}
+		}
+		assign, err := Partition(blocks, np)
+		if err != nil {
+			return false
+		}
+		count := 0
+		for _, idxs := range assign {
+			count += len(idxs)
+		}
+		return count == len(blocks)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitConservesGeometry(t *testing.T) {
+	rng := stats.NewRNG(6)
+	blocks, _ := GenCylinder(testSpec(), 0, rng)
+	for _, b := range blocks[:6] {
+		res, err := Split(b, 999)
+		if err != nil {
+			t.Fatal(err)
+		}
+		left, right := res.Left, res.Right
+		if len(res.LeftMap) != left.NumNodes() || len(res.RightMap) != right.NumNodes() {
+			t.Fatal("split maps sized wrong")
+		}
+		for n, src := range res.LeftMap {
+			lx, ly, lz := left.Node(n)
+			px, py, pz := b.Node(src)
+			if lx != px || ly != py || lz != pz {
+				t.Fatal("left map does not point at coincident parent node")
+			}
+		}
+		for n, src := range res.RightMap {
+			rx, ry, rz := right.Node(n)
+			px, py, pz := b.Node(src)
+			if rx != px || ry != py || rz != pz {
+				t.Fatal("right map does not point at coincident parent node")
+			}
+		}
+		if err := left.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if err := right.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if left.ID != b.ID || right.ID != 999 {
+			t.Fatalf("child IDs %d/%d", left.ID, right.ID)
+		}
+		if left.Level != b.Level+1 || right.Level != b.Level+1 {
+			t.Fatal("levels not incremented")
+		}
+		// Node counts: children share the cut plane.
+		dims := [3]int{b.NI, b.NJ, b.NK}
+		longest := dims[0]
+		for _, d := range dims {
+			if d > longest {
+				longest = d
+			}
+		}
+		plane := b.NumNodes() / longest
+		if left.NumNodes()+right.NumNodes() != b.NumNodes()+plane {
+			t.Fatalf("node counts %d+%d vs parent %d (+plane %d)",
+				left.NumNodes(), right.NumNodes(), b.NumNodes(), plane)
+		}
+		// Bounding boxes of children must lie within the parent's.
+		pmin, pmax := b.Bounds()
+		for _, c := range []*Block{left, right} {
+			cmin, cmax := c.Bounds()
+			for d := 0; d < 3; d++ {
+				if cmin[d] < pmin[d]-1e-12 || cmax[d] > pmax[d]+1e-12 {
+					t.Fatalf("child bounds escape parent in dim %d", d)
+				}
+			}
+		}
+	}
+}
+
+func TestSplitTooSmall(t *testing.T) {
+	b := &Block{ID: 0, Kind: Structured, NI: 2, NJ: 2, NK: 2, Coords: make([]float64, 24)}
+	if _, err := Split(b, 1); err == nil {
+		t.Fatal("split of 2x2x2 accepted")
+	}
+	u := &Block{ID: 0, Kind: Unstructured}
+	if _, err := Split(u, 1); err == nil {
+		t.Fatal("split of unstructured accepted")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Structured.String() != "structured" || Unstructured.String() != "unstructured" {
+		t.Fatal("kind names wrong")
+	}
+}

@@ -1,0 +1,131 @@
+package mesh
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Partition assigns blocks to nprocs processors, balancing total node count
+// with the LPT (longest processing time) greedy heuristic: blocks are
+// placed heaviest-first onto the currently lightest processor. The result
+// maps each processor to the indices of its blocks, preserving a
+// deterministic order. Every block is assigned to exactly one processor;
+// processors may receive none if there are fewer blocks than processors.
+func Partition(blocks []*Block, nprocs int) ([][]int, error) {
+	if nprocs < 1 {
+		return nil, fmt.Errorf("mesh: partition over %d processors", nprocs)
+	}
+	type item struct{ idx, weight int }
+	items := make([]item, len(blocks))
+	for i, b := range blocks {
+		items[i] = item{idx: i, weight: b.NumNodes()}
+	}
+	sort.SliceStable(items, func(i, j int) bool { return items[i].weight > items[j].weight })
+
+	assign := make([][]int, nprocs)
+	load := make([]int, nprocs)
+	for _, it := range items {
+		best := 0
+		for p := 1; p < nprocs; p++ {
+			if load[p] < load[best] {
+				best = p
+			}
+		}
+		assign[best] = append(assign[best], it.idx)
+		load[best] += it.weight
+	}
+	for p := range assign {
+		sort.Ints(assign[p])
+	}
+	return assign, nil
+}
+
+// Imbalance returns max/mean processor load (in nodes) of an assignment,
+// 1.0 being perfect balance. Empty assignments return +1.
+func Imbalance(blocks []*Block, assign [][]int) float64 {
+	var total, max int
+	for _, idxs := range assign {
+		var load int
+		for _, i := range idxs {
+			load += blocks[i].NumNodes()
+		}
+		total += load
+		if load > max {
+			max = load
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	mean := float64(total) / float64(len(assign))
+	return float64(max) / mean
+}
+
+// SplitResult holds the two children of a block split plus, for each child
+// node, the index of the parent node it came from — so node-centered field
+// data can be carried through refinement.
+type SplitResult struct {
+	Left, Right       *Block
+	LeftMap, RightMap []int
+}
+
+// Split refines a structured block into two along its longest index
+// direction, sharing the split plane of nodes. The children keep the
+// parent's ID for the first half and take newID for the second; levels
+// increase by one. This is the adaptive-refinement primitive: as the
+// propellant burns, blocks are split and the data distribution changes at
+// runtime without any change to how I/O is performed.
+func Split(b *Block, newID int) (*SplitResult, error) {
+	if b.Kind != Structured {
+		return nil, fmt.Errorf("mesh: Split needs a structured block")
+	}
+	// Pick the longest direction with at least 3 nodes.
+	dir := 0
+	dims := [3]int{b.NI, b.NJ, b.NK}
+	for d := 1; d < 3; d++ {
+		if dims[d] > dims[dir] {
+			dir = d
+		}
+	}
+	if dims[dir] < 3 {
+		return nil, fmt.Errorf("mesh: block %d too small to split (%dx%dx%d)", b.ID, b.NI, b.NJ, b.NK)
+	}
+	cut := dims[dir] / 2 // node index of the shared plane
+
+	sub := func(id, lo, hi int) (*Block, []int) {
+		nb := &Block{ID: id, Kind: Structured, NI: b.NI, NJ: b.NJ, NK: b.NK, Level: b.Level + 1}
+		switch dir {
+		case 0:
+			nb.NI = hi - lo + 1
+		case 1:
+			nb.NJ = hi - lo + 1
+		case 2:
+			nb.NK = hi - lo + 1
+		}
+		nb.Coords = make([]float64, 3*nb.NI*nb.NJ*nb.NK)
+		m := make([]int, nb.NI*nb.NJ*nb.NK)
+		for k := 0; k < nb.NK; k++ {
+			for j := 0; j < nb.NJ; j++ {
+				for i := 0; i < nb.NI; i++ {
+					si, sj, sk := i, j, k
+					switch dir {
+					case 0:
+						si += lo
+					case 1:
+						sj += lo
+					case 2:
+						sk += lo
+					}
+					src := b.nodeIndex(si, sj, sk)
+					dst := nb.nodeIndex(i, j, k)
+					copy(nb.Coords[3*dst:3*dst+3], b.Coords[3*src:3*src+3])
+					m[dst] = src
+				}
+			}
+		}
+		return nb, m
+	}
+	left, lm := sub(b.ID, 0, cut)
+	right, rm := sub(newID, cut, dims[dir]-1)
+	return &SplitResult{Left: left, Right: right, LeftMap: lm, RightMap: rm}, nil
+}

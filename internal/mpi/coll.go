@@ -1,0 +1,146 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// The collectives use binomial trees over communicator ranks (relative to
+// the operation's root), giving O(log n) depth. They rely on per-pair FIFO
+// ordering and on every rank of the communicator entering the same
+// collectives in the same order, as MPI does.
+
+// treeParent returns the parent of rank in a binomial tree of size n rooted
+// at 0, or -1 for the root.
+func treeParent(rank, n int) int {
+	if rank == 0 {
+		return -1
+	}
+	// Clear the lowest set bit.
+	return rank & (rank - 1)
+}
+
+// treeChildren appends the children of rank in a binomial tree of size n
+// rooted at 0.
+func treeChildren(rank, n int) []int {
+	var kids []int
+	for mask := 1; mask < n; mask <<= 1 {
+		if rank&(mask-1) != 0 || rank&mask != 0 {
+			break
+		}
+		child := rank | mask
+		if child < n {
+			kids = append(kids, child)
+		}
+	}
+	return kids
+}
+
+// rel maps a rank to the tree coordinate system rooted at root, and back.
+func rel(rank, root, n int) int   { return (rank - root + n) % n }
+func unrel(rank, root, n int) int { return (rank + root) % n }
+
+// Barrier blocks until every rank of the communicator has entered it:
+// a reduce up the tree followed by a broadcast down.
+func (c *comm) Barrier() {
+	n := c.Size()
+	if n == 1 {
+		return
+	}
+	me := c.rank
+	for _, kid := range treeChildren(me, n) {
+		c.ep.RecvMatch(c.pred(kid, tagBarrierUp))
+	}
+	if p := treeParent(me, n); p >= 0 {
+		c.send(p, tagBarrierUp, nil)
+		c.ep.RecvMatch(c.pred(p, tagBarrierDown))
+	}
+	for _, kid := range treeChildren(me, n) {
+		c.send(kid, tagBarrierDown, nil)
+	}
+}
+
+// Bcast distributes root's data to every rank and returns it. Non-root
+// callers may pass nil.
+func (c *comm) Bcast(root int, data []byte) []byte {
+	return c.bcast(root, tagBcast, data)
+}
+
+func (c *comm) bcast(root, tag int, data []byte) []byte {
+	n := c.Size()
+	if n == 1 {
+		return data
+	}
+	me := rel(c.rank, root, n)
+	if me != 0 {
+		p := unrel(treeParent(me, n), root, n)
+		m := c.ep.RecvMatch(c.pred(p, tag))
+		data = m.Data
+	}
+	for _, kid := range treeChildren(me, n) {
+		c.send(unrel(kid, root, n), tag, data)
+	}
+	return data
+}
+
+// Gather collects every rank's data at root. At root the result has one
+// entry per rank, indexed by communicator rank; other ranks get nil.
+func (c *comm) Gather(root int, data []byte) [][]byte {
+	return c.gather(root, tagGather, data)
+}
+
+func (c *comm) gather(root, tag int, data []byte) [][]byte {
+	// Flat gather: each rank sends directly to root. Contributions can
+	// be large and heterogeneous, so a flat pattern avoids forwarding
+	// volume through the tree.
+	if c.rank != root {
+		c.send(root, tag, data)
+		return nil
+	}
+	out := make([][]byte, c.Size())
+	out[root] = data
+	for i := 1; i < c.Size(); i++ {
+		m := c.ep.RecvMatch(c.pred(AnySource, tag))
+		out[c.local[m.Src]] = m.Data
+	}
+	return out
+}
+
+// reduceOp combines two float64s.
+type reduceOp func(a, b float64) float64
+
+func (c *comm) allreduce(x float64, op reduceOp) float64 {
+	n := c.Size()
+	if n == 1 {
+		return x
+	}
+	me := c.rank
+	acc := x
+	for _, kid := range treeChildren(me, n) {
+		m := c.ep.RecvMatch(c.pred(kid, tagReduceUp))
+		acc = op(acc, math.Float64frombits(binary.LittleEndian.Uint64(m.Data)))
+	}
+	buf := make([]byte, 8)
+	if p := treeParent(me, n); p >= 0 {
+		binary.LittleEndian.PutUint64(buf, math.Float64bits(acc))
+		c.send(p, tagReduceUp, buf)
+	}
+	binary.LittleEndian.PutUint64(buf, math.Float64bits(acc))
+	out := c.bcast(0, tagReduceUp, buf)
+	return math.Float64frombits(binary.LittleEndian.Uint64(out))
+}
+
+// AllreduceSum returns the sum of x across all ranks, on all ranks.
+func (c *comm) AllreduceSum(x float64) float64 {
+	return c.allreduce(x, func(a, b float64) float64 { return a + b })
+}
+
+// AllreduceMax returns the maximum of x across all ranks, on all ranks.
+func (c *comm) AllreduceMax(x float64) float64 {
+	return c.allreduce(x, math.Max)
+}
+
+// AllreduceMin returns the minimum of x across all ranks, on all ranks.
+func (c *comm) AllreduceMin(x float64) float64 {
+	return c.allreduce(x, math.Min)
+}

@@ -1,0 +1,241 @@
+package panda
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"genxio/internal/hdf"
+	"genxio/internal/mpi"
+	"genxio/internal/rt"
+)
+
+// Collective message tags (application tag space).
+const (
+	tagWrite = 3100 + iota
+	tagRead
+)
+
+// File header: magic, ndims, dims... (little-endian uint32s).
+const pandaMagic = 0x50414E44 // "PAND"
+
+func headerSize(nd int) int64 { return int64(4 * (2 + nd)) }
+
+func encodeHeader(spec ArraySpec) []byte {
+	b := binary.LittleEndian.AppendUint32(nil, pandaMagic)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(spec.Dims)))
+	for _, d := range spec.Dims {
+		b = binary.LittleEndian.AppendUint32(b, uint32(d))
+	}
+	return b
+}
+
+func checkHeader(f rt.File, spec ArraySpec) error {
+	hdr := make([]byte, headerSize(len(spec.Dims)))
+	if _, err := f.ReadAt(hdr, 0); err != nil {
+		return fmt.Errorf("panda: reading header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr) != pandaMagic {
+		return fmt.Errorf("panda: %s is not a Panda array file", f.Name())
+	}
+	if int(binary.LittleEndian.Uint32(hdr[4:])) != len(spec.Dims) {
+		return fmt.Errorf("panda: %s rank mismatch", f.Name())
+	}
+	for d, want := range spec.Dims {
+		if got := int(binary.LittleEndian.Uint32(hdr[8+4*d:])); got != want {
+			return fmt.Errorf("panda: %s dim %d is %d, want %d", f.Name(), d, got, want)
+		}
+	}
+	return nil
+}
+
+// roles resolves the caller's role from the server rank list.
+func roles(comm mpi.Comm, srvRanks []int) (isServer bool, srvIdx int, clients []int, err error) {
+	if len(srvRanks) == 0 || len(srvRanks) >= comm.Size() {
+		return false, 0, nil, fmt.Errorf("panda: %d servers in a world of %d", len(srvRanks), comm.Size())
+	}
+	set := make(map[int]bool, len(srvRanks))
+	for i, r := range srvRanks {
+		if r < 0 || r >= comm.Size() || set[r] {
+			return false, 0, nil, fmt.Errorf("panda: bad server rank %d", r)
+		}
+		set[r] = true
+		if r == comm.Rank() {
+			isServer, srvIdx = true, i
+		}
+	}
+	for r := 0; r < comm.Size(); r++ {
+		if !set[r] {
+			clients = append(clients, r)
+		}
+	}
+	return isServer, srvIdx, clients, nil
+}
+
+// CollectiveWrite writes a (BLOCK,...,BLOCK)-distributed global array to
+// one canonical row-major file, server-directed: every rank of comm must
+// call it; ranks listed in srvRanks act as I/O servers (they pass nil
+// data), the rest are clients passing their subarray (row-major over their
+// piece). The operation completes collectively.
+func CollectiveWrite(comm mpi.Comm, fs rt.FS, srvRanks []int, spec ArraySpec, myData []float64, file string) error {
+	isServer, srvIdx, clients, err := roles(comm, srvRanks)
+	if err != nil {
+		return err
+	}
+	if err := spec.Validate(len(clients)); err != nil {
+		return err
+	}
+	m := len(srvRanks)
+
+	if comm.Rank() == srvRanks[0] {
+		f, err := fs.Create(file)
+		if err != nil {
+			return err
+		}
+		if _, err := f.WriteAt(encodeHeader(spec), 0); err != nil {
+			f.Close()
+			return err
+		}
+		// Reserve the full extent so stripe writes at offsets are safe
+		// regardless of completion order.
+		if err := f.Truncate(headerSize(len(spec.Dims)) + int64(8*spec.NumElems())); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	comm.Barrier()
+
+	if !isServer {
+		cIdx := clientIndex(clients, comm.Rank())
+		piece := ClientPiece(spec, cIdx)
+		if want := piece.NumElems(); len(myData) != want {
+			return fmt.Errorf("panda: client %d passed %d elements, piece has %d", cIdx, len(myData), want)
+		}
+		for s := 0; s < m; s++ {
+			lo, hi := serverStripe(spec, m, s)
+			reg, ok := intersect(piece, lo, hi)
+			if !ok {
+				continue
+			}
+			slice := make([]float64, reg.NumElems())
+			sliceRegion(myData, piece, reg, slice, false)
+			comm.Send(srvRanks[s], tagWrite, hdf.F64Bytes(slice))
+		}
+		comm.Barrier()
+		return nil
+	}
+
+	// Server: assemble the stripe from every intersecting client, then
+	// write it at its canonical offset.
+	lo, hi := serverStripe(spec, m, srvIdx)
+	stripe := Subarray{Lo: make([]int, len(spec.Dims)), Hi: append([]int(nil), spec.Dims...)}
+	stripe.Lo[0], stripe.Hi[0] = lo, hi
+	band := make([]float64, (hi-lo)*rowSize(spec))
+	for cIdx, cRank := range clients {
+		piece := ClientPiece(spec, cIdx)
+		reg, ok := intersect(piece, lo, hi)
+		if !ok {
+			continue
+		}
+		data, _ := comm.Recv(cRank, tagWrite)
+		vals := hdf.BytesF64(data)
+		if len(vals) != reg.NumElems() {
+			return fmt.Errorf("panda: server %d got %d elements from client %d, want %d",
+				srvIdx, len(vals), cIdx, reg.NumElems())
+		}
+		sliceRegion(band, stripe, reg, vals, true)
+	}
+	f, err := fs.Open(file)
+	if err != nil {
+		return err
+	}
+	off := headerSize(len(spec.Dims)) + int64(8*lo*rowSize(spec))
+	if _, err := f.WriteAt(hdf.F64Bytes(band), off); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	comm.Barrier()
+	return nil
+}
+
+// CollectiveRead is the inverse redistribution: servers read their stripes
+// of the canonical file and ship the intersecting regions to the clients,
+// which assemble their pieces. The server count may differ from the
+// writing run. Clients receive their subarray in the returned slice;
+// servers return nil.
+func CollectiveRead(comm mpi.Comm, fs rt.FS, srvRanks []int, spec ArraySpec, file string) ([]float64, error) {
+	isServer, srvIdx, clients, err := roles(comm, srvRanks)
+	if err != nil {
+		return nil, err
+	}
+	if err := spec.Validate(len(clients)); err != nil {
+		return nil, err
+	}
+	m := len(srvRanks)
+
+	if isServer {
+		f, err := fs.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		if err := checkHeader(f, spec); err != nil {
+			return nil, err
+		}
+		lo, hi := serverStripe(spec, m, srvIdx)
+		stripe := Subarray{Lo: make([]int, len(spec.Dims)), Hi: append([]int(nil), spec.Dims...)}
+		stripe.Lo[0], stripe.Hi[0] = lo, hi
+		raw := make([]byte, 8*(hi-lo)*rowSize(spec))
+		off := headerSize(len(spec.Dims)) + int64(8*lo*rowSize(spec))
+		if _, err := f.ReadAt(raw, off); err != nil {
+			return nil, err
+		}
+		band := hdf.BytesF64(raw)
+		for cIdx, cRank := range clients {
+			piece := ClientPiece(spec, cIdx)
+			reg, ok := intersect(piece, lo, hi)
+			if !ok {
+				continue
+			}
+			slice := make([]float64, reg.NumElems())
+			sliceRegion(band, stripe, reg, slice, false)
+			comm.Send(cRank, tagRead, hdf.F64Bytes(slice))
+		}
+		comm.Barrier()
+		return nil, nil
+	}
+
+	cIdx := clientIndex(clients, comm.Rank())
+	piece := ClientPiece(spec, cIdx)
+	out := make([]float64, piece.NumElems())
+	for s := 0; s < m; s++ {
+		lo, hi := serverStripe(spec, m, s)
+		reg, ok := intersect(piece, lo, hi)
+		if !ok {
+			continue
+		}
+		data, _ := comm.Recv(srvRanks[s], tagRead)
+		vals := hdf.BytesF64(data)
+		if len(vals) != reg.NumElems() {
+			return nil, fmt.Errorf("panda: client %d got %d elements from server %d, want %d",
+				cIdx, len(vals), s, reg.NumElems())
+		}
+		sliceRegion(out, piece, reg, vals, true)
+	}
+	comm.Barrier()
+	return out, nil
+}
+
+func clientIndex(clients []int, rank int) int {
+	for i, r := range clients {
+		if r == rank {
+			return i
+		}
+	}
+	return -1
+}

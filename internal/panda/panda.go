@@ -1,0 +1,191 @@
+// Package panda implements the classic Panda parallel I/O library's
+// server-directed collective I/O for regular, HPF-style (BLOCK,...,BLOCK)
+// distributed multi-dimensional arrays — the system Rocpanda was derived
+// from (Seamons et al., "Server-directed collective I/O in Panda", SC'95,
+// the paper's reference [19]).
+//
+// Where Rocpanda ships opaque, irregular data blocks, Panda understands
+// the global array: each client owns a rectangular subarray determined by
+// its coordinates in a logical client mesh, and the dedicated servers
+// reorganize incoming subarrays into the canonical row-major file layout,
+// each server owning a contiguous stripe of the global array. Reads
+// perform the inverse redistribution, and — like Rocpanda's restart — the
+// number of servers reading may differ from the number that wrote, since
+// the file layout is canonical.
+//
+// The package exists both as a usable collective-I/O facility for regular
+// arrays and as the baseline that motivates the paper: GENx's data has no
+// global arrays, which is exactly why Rocpanda had to replace these
+// distribution descriptors with data blocks.
+package panda
+
+import "fmt"
+
+// ArraySpec describes a global float64 array distributed (BLOCK,...,BLOCK)
+// over a logical client mesh.
+type ArraySpec struct {
+	// Name names the array (also the dataset name in the file).
+	Name string
+	// Dims are the global element counts per dimension.
+	Dims []int
+	// ClientMesh gives the number of clients along each dimension; its
+	// product must equal the number of clients.
+	ClientMesh []int
+}
+
+// Validate checks the spec against a client count.
+func (s ArraySpec) Validate(nclients int) error {
+	if s.Name == "" {
+		return fmt.Errorf("panda: array with empty name")
+	}
+	if len(s.Dims) == 0 || len(s.Dims) != len(s.ClientMesh) {
+		return fmt.Errorf("panda: %q has %d dims but %d mesh dims", s.Name, len(s.Dims), len(s.ClientMesh))
+	}
+	prod := 1
+	for d, n := range s.ClientMesh {
+		if n < 1 || s.Dims[d] < n {
+			return fmt.Errorf("panda: %q dim %d: %d elements over %d clients", s.Name, d, s.Dims[d], n)
+		}
+		prod *= n
+	}
+	if prod != nclients {
+		return fmt.Errorf("panda: %q client mesh %v needs %d clients, have %d", s.Name, s.ClientMesh, prod, nclients)
+	}
+	return nil
+}
+
+// NumElems returns the global element count.
+func (s ArraySpec) NumElems() int {
+	n := 1
+	for _, d := range s.Dims {
+		n *= d
+	}
+	return n
+}
+
+// blockRange returns the [lo,hi) index range of block b out of n along a
+// dimension of extent dim (HPF BLOCK distribution: remainders go to the
+// leading blocks).
+func blockRange(dim, n, b int) (lo, hi int) {
+	base := dim / n
+	rem := dim % n
+	lo = b*base + min(b, rem)
+	size := base
+	if b < rem {
+		size++
+	}
+	return lo, lo + size
+}
+
+// clientCoords returns client c's coordinates in the client mesh
+// (row-major).
+func clientCoords(meshDims []int, c int) []int {
+	coords := make([]int, len(meshDims))
+	for d := len(meshDims) - 1; d >= 0; d-- {
+		coords[d] = c % meshDims[d]
+		c /= meshDims[d]
+	}
+	return coords
+}
+
+// Subarray describes one client's rectangular piece: per-dimension [Lo,Hi)
+// ranges.
+type Subarray struct {
+	Lo, Hi []int
+}
+
+// NumElems returns the piece's element count.
+func (s Subarray) NumElems() int {
+	n := 1
+	for d := range s.Lo {
+		n *= s.Hi[d] - s.Lo[d]
+	}
+	return n
+}
+
+// ClientPiece returns the subarray owned by client c under spec.
+func ClientPiece(spec ArraySpec, c int) Subarray {
+	coords := clientCoords(spec.ClientMesh, c)
+	sub := Subarray{Lo: make([]int, len(spec.Dims)), Hi: make([]int, len(spec.Dims))}
+	for d := range spec.Dims {
+		sub.Lo[d], sub.Hi[d] = blockRange(spec.Dims[d], spec.ClientMesh[d], coords[d])
+	}
+	return sub
+}
+
+// serverStripe returns the rows (dimension-0 range) server s of m owns in
+// the canonical file layout.
+func serverStripe(spec ArraySpec, m, s int) (lo, hi int) {
+	return blockRange(spec.Dims[0], m, s)
+}
+
+// rowSize returns the number of elements in one dimension-0 row (product
+// of trailing dims).
+func rowSize(spec ArraySpec) int {
+	n := 1
+	for _, d := range spec.Dims[1:] {
+		n *= d
+	}
+	return n
+}
+
+// intersect intersects a subarray with a dimension-0 range; ok is false if
+// empty.
+func intersect(sub Subarray, lo, hi int) (Subarray, bool) {
+	out := Subarray{Lo: append([]int(nil), sub.Lo...), Hi: append([]int(nil), sub.Hi...)}
+	if lo > out.Lo[0] {
+		out.Lo[0] = lo
+	}
+	if hi < out.Hi[0] {
+		out.Hi[0] = hi
+	}
+	if out.Lo[0] >= out.Hi[0] {
+		return out, false
+	}
+	return out, true
+}
+
+// sliceRegion copies the region reg out of (or into, when store is true) a
+// buffer laid out row-major over the bounding box bb. The region's data
+// itself is row-major over reg.
+func sliceRegion(bbData []float64, bb, reg Subarray, regData []float64, store bool) {
+	nd := len(bb.Lo)
+	// Iterate the region in row-major order with an odometer.
+	idx := append([]int(nil), reg.Lo...)
+	// Strides of the bounding box.
+	strides := make([]int, nd)
+	stride := 1
+	for d := nd - 1; d >= 0; d-- {
+		strides[d] = stride
+		stride *= bb.Hi[d] - bb.Lo[d]
+	}
+	rowLen := reg.Hi[nd-1] - reg.Lo[nd-1]
+	pos := 0
+	for {
+		// Offset of idx within the bounding box.
+		off := 0
+		for d := 0; d < nd; d++ {
+			off += (idx[d] - bb.Lo[d]) * strides[d]
+		}
+		if store {
+			copy(bbData[off:off+rowLen], regData[pos:pos+rowLen])
+		} else {
+			copy(regData[pos:pos+rowLen], bbData[off:off+rowLen])
+		}
+		pos += rowLen
+		// Advance the odometer, skipping the last dimension (handled
+		// as whole rows).
+		d := nd - 2
+		for d >= 0 {
+			idx[d]++
+			if idx[d] < reg.Hi[d] {
+				break
+			}
+			idx[d] = reg.Lo[d]
+			d--
+		}
+		if d < 0 {
+			return
+		}
+	}
+}

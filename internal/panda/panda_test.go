@@ -1,0 +1,332 @@
+package panda
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"genxio/internal/mpi"
+	"genxio/internal/rt"
+	"genxio/internal/stats"
+)
+
+func TestBlockRangePartitions(t *testing.T) {
+	f := func(dimRaw, nRaw uint8) bool {
+		dim := int(dimRaw%200) + 1
+		n := int(nRaw%16) + 1
+		if n > dim {
+			n = dim
+		}
+		prev := 0
+		for b := 0; b < n; b++ {
+			lo, hi := blockRange(dim, n, b)
+			if lo != prev || hi <= lo {
+				return false
+			}
+			prev = hi
+		}
+		return prev == dim
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClientPiecesTile(t *testing.T) {
+	spec := ArraySpec{Name: "a", Dims: []int{13, 9, 7}, ClientMesh: []int{3, 2, 2}}
+	if err := spec.Validate(12); err != nil {
+		t.Fatal(err)
+	}
+	covered := make([]bool, spec.NumElems())
+	for c := 0; c < 12; c++ {
+		p := ClientPiece(spec, c)
+		for i := p.Lo[0]; i < p.Hi[0]; i++ {
+			for j := p.Lo[1]; j < p.Hi[1]; j++ {
+				for k := p.Lo[2]; k < p.Hi[2]; k++ {
+					idx := (i*9+j)*7 + k
+					if covered[idx] {
+						t.Fatalf("element (%d,%d,%d) owned twice", i, j, k)
+					}
+					covered[idx] = true
+				}
+			}
+		}
+	}
+	for idx, ok := range covered {
+		if !ok {
+			t.Fatalf("element %d unowned", idx)
+		}
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	bad := []ArraySpec{
+		{Name: "", Dims: []int{4}, ClientMesh: []int{2}},
+		{Name: "x", Dims: []int{4, 4}, ClientMesh: []int{2}},
+		{Name: "x", Dims: []int{4}, ClientMesh: []int{5}},
+		{Name: "x", Dims: []int{4}, ClientMesh: []int{0}},
+	}
+	for i, s := range bad {
+		if s.Validate(2) == nil && s.Validate(5) == nil && s.Validate(0) == nil {
+			t.Fatalf("bad spec %d accepted", i)
+		}
+	}
+	good := ArraySpec{Name: "x", Dims: []int{8, 6}, ClientMesh: []int{2, 3}}
+	if err := good.Validate(6); err != nil {
+		t.Fatal(err)
+	}
+	if err := good.Validate(5); err == nil {
+		t.Fatal("client count mismatch accepted")
+	}
+}
+
+// globalFill gives element (i,j,...) a unique deterministic value.
+func globalFill(spec ArraySpec, flat int) float64 { return float64(flat)*1.5 + 7 }
+
+// fillPiece builds client c's subarray data row-major over the piece.
+func fillPiece(spec ArraySpec, c int) []float64 {
+	p := ClientPiece(spec, c)
+	out := make([]float64, 0, p.NumElems())
+	nd := len(spec.Dims)
+	idx := append([]int(nil), p.Lo...)
+	for {
+		flat := 0
+		for d := 0; d < nd; d++ {
+			flat = flat*spec.Dims[d] + idx[d]
+		}
+		out = append(out, globalFill(spec, flat))
+		d := nd - 1
+		for d >= 0 {
+			idx[d]++
+			if idx[d] < p.Hi[d] {
+				break
+			}
+			idx[d] = p.Lo[d]
+			d--
+		}
+		if d < 0 {
+			return out
+		}
+	}
+}
+
+// runCollective writes a distributed array with mWrite servers and reads
+// it back with mRead servers, verifying every client's piece.
+func runCollective(t *testing.T, spec ArraySpec, nclients, mWrite, mRead int) {
+	t.Helper()
+	fs := rt.NewMemFS()
+
+	worldSize := nclients + mWrite
+	srv := make([]int, mWrite)
+	for i := range srv {
+		srv[i] = i // servers first
+	}
+	world := mpi.NewChanWorld(fs, 1)
+	err := world.Run(worldSize, func(ctx mpi.Ctx) error {
+		c := ctx.Comm()
+		var data []float64
+		if c.Rank() >= mWrite {
+			data = fillPiece(spec, c.Rank()-mWrite)
+		}
+		return CollectiveWrite(c, ctx.FS(), srv, spec, data, "arr.panda")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	worldSize = nclients + mRead
+	srv = make([]int, mRead)
+	for i := range srv {
+		srv[i] = i
+	}
+	world = mpi.NewChanWorld(fs, 1)
+	err = world.Run(worldSize, func(ctx mpi.Ctx) error {
+		c := ctx.Comm()
+		got, err := CollectiveRead(c, ctx.FS(), srv, spec, "arr.panda")
+		if err != nil {
+			return err
+		}
+		if c.Rank() < mRead {
+			if got != nil {
+				return fmt.Errorf("server returned data")
+			}
+			return nil
+		}
+		want := fillPiece(spec, c.Rank()-mRead)
+		if len(got) != len(want) {
+			return fmt.Errorf("client %d got %d elements, want %d", c.Rank()-mRead, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return fmt.Errorf("client %d element %d = %v, want %v", c.Rank()-mRead, i, got[i], want[i])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollectiveRoundTrip1D(t *testing.T) {
+	runCollective(t, ArraySpec{Name: "v", Dims: []int{97}, ClientMesh: []int{4}}, 4, 2, 2)
+}
+
+func TestCollectiveRoundTrip2D(t *testing.T) {
+	runCollective(t, ArraySpec{Name: "m", Dims: []int{24, 17}, ClientMesh: []int{3, 2}}, 6, 2, 2)
+}
+
+func TestCollectiveRoundTrip3D(t *testing.T) {
+	runCollective(t, ArraySpec{Name: "c", Dims: []int{11, 8, 5}, ClientMesh: []int{2, 2, 2}}, 8, 3, 3)
+}
+
+func TestReadWithDifferentServerCount(t *testing.T) {
+	// Written with 2 servers, read with 3 and with 1 — the canonical
+	// layout makes the server count a runtime choice, like Rocpanda's
+	// restart.
+	spec := ArraySpec{Name: "m", Dims: []int{30, 10}, ClientMesh: []int{6, 1}}
+	runCollective(t, spec, 6, 2, 3)
+	runCollective(t, spec, 6, 2, 1)
+}
+
+func TestCollectivePropertyRandomShapes(t *testing.T) {
+	rng := stats.NewRNG(77)
+	for trial := 0; trial < 8; trial++ {
+		nd := 1 + rng.Intn(3)
+		dims := make([]int, nd)
+		meshd := make([]int, nd)
+		nclients := 1
+		for d := 0; d < nd; d++ {
+			meshd[d] = 1 + rng.Intn(3)
+			dims[d] = meshd[d] + rng.Intn(12)
+			nclients *= meshd[d]
+		}
+		spec := ArraySpec{Name: "r", Dims: dims, ClientMesh: meshd}
+		mW := 1 + rng.Intn(3)
+		mR := 1 + rng.Intn(3)
+		t.Run(fmt.Sprintf("dims=%v mesh=%v mW=%d mR=%d", dims, meshd, mW, mR), func(t *testing.T) {
+			runCollective(t, spec, nclients, mW, mR)
+		})
+	}
+}
+
+func TestWriteValidation(t *testing.T) {
+	// A collectively invalid spec must fail locally on every rank before
+	// any communication (so no rank strands its peers).
+	fs := rt.NewMemFS()
+	world := mpi.NewChanWorld(fs, 1)
+	bad := ArraySpec{Name: "v", Dims: []int{10}, ClientMesh: []int{3}} // mesh != client count
+	err := world.Run(3, func(ctx mpi.Ctx) error {
+		c := ctx.Comm()
+		if err := CollectiveWrite(c, ctx.FS(), []int{0}, bad, nil, "bad.panda"); err == nil {
+			return fmt.Errorf("invalid spec accepted on rank %d", c.Rank())
+		}
+		if _, err := CollectiveRead(c, ctx.FS(), []int{0}, bad, "bad.panda"); err == nil {
+			return fmt.Errorf("invalid spec accepted by read on rank %d", c.Rank())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoleValidation(t *testing.T) {
+	world := mpi.NewChanWorld(rt.NewMemFS(), 1)
+	spec := ArraySpec{Name: "v", Dims: []int{10}, ClientMesh: []int{2}}
+	err := world.Run(2, func(ctx mpi.Ctx) error {
+		c := ctx.Comm()
+		if err := CollectiveWrite(c, ctx.FS(), nil, spec, nil, "x"); err == nil {
+			return fmt.Errorf("no servers accepted")
+		}
+		if err := CollectiveWrite(c, ctx.FS(), []int{0, 1}, spec, nil, "x"); err == nil {
+			return fmt.Errorf("all-server world accepted")
+		}
+		if err := CollectiveWrite(c, ctx.FS(), []int{9}, spec, nil, "x"); err == nil {
+			return fmt.Errorf("out-of-range server accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeaderValidation(t *testing.T) {
+	fs := rt.NewMemFS()
+	spec := ArraySpec{Name: "v", Dims: []int{4, 3}, ClientMesh: []int{1, 1}}
+
+	f, _ := fs.Create("garbage")
+	f.WriteAt([]byte("not a panda file at all....."), 0)
+	if err := checkHeader(f, spec); err == nil {
+		t.Fatal("garbage header accepted")
+	}
+	f.Close()
+
+	g, _ := fs.Create("wrongdims")
+	g.WriteAt(encodeHeader(ArraySpec{Name: "v", Dims: []int{4, 9}, ClientMesh: []int{1, 1}}), 0)
+	if err := checkHeader(g, spec); err == nil {
+		t.Fatal("dim mismatch accepted")
+	}
+	g.Close()
+
+	h, _ := fs.Create("wrongrank")
+	h.WriteAt(encodeHeader(ArraySpec{Name: "v", Dims: []int{12}, ClientMesh: []int{1}}), 0)
+	// Pad so the 2-D header read does not hit EOF before the check.
+	h.WriteAt([]byte{0, 0, 0, 0}, 12)
+	if err := checkHeader(h, spec); err == nil {
+		t.Fatal("rank mismatch accepted")
+	}
+	h.Close()
+}
+
+func TestSliceRegionRoundTrip(t *testing.T) {
+	rng := stats.NewRNG(31)
+	for trial := 0; trial < 50; trial++ {
+		nd := 1 + rng.Intn(3)
+		bb := Subarray{Lo: make([]int, nd), Hi: make([]int, nd)}
+		reg := Subarray{Lo: make([]int, nd), Hi: make([]int, nd)}
+		for d := 0; d < nd; d++ {
+			bb.Lo[d] = rng.Intn(5)
+			bb.Hi[d] = bb.Lo[d] + 1 + rng.Intn(6)
+			reg.Lo[d] = bb.Lo[d] + rng.Intn(bb.Hi[d]-bb.Lo[d])
+			reg.Hi[d] = reg.Lo[d] + 1 + rng.Intn(bb.Hi[d]-reg.Lo[d])
+		}
+		box := make([]float64, bb.NumElems())
+		for i := range box {
+			box[i] = rng.Float64()
+		}
+		orig := append([]float64(nil), box...)
+
+		// Extract the region, overwrite it with sentinels in the box,
+		// store it back: the box must be restored exactly, and elements
+		// outside the region must never have changed.
+		out := make([]float64, reg.NumElems())
+		sliceRegion(box, bb, reg, out, false)
+		if string(fmt.Sprint(box)) != fmt.Sprint(orig) {
+			t.Fatal("extract mutated the box")
+		}
+		marked := make([]float64, reg.NumElems())
+		for i := range marked {
+			marked[i] = -1
+		}
+		sliceRegion(box, bb, reg, marked, true)
+		sliceRegion(box, bb, reg, out, false)
+		for _, v := range out {
+			if v != -1 {
+				t.Fatalf("store/extract mismatch: %v", v)
+			}
+		}
+		// Restore and compare everything.
+		restore := make([]float64, reg.NumElems())
+		idx := 0
+		_ = idx
+		sliceRegion(orig, bb, reg, restore, false)
+		sliceRegion(box, bb, reg, restore, true)
+		for i := range box {
+			if box[i] != orig[i] {
+				t.Fatalf("trial %d: box[%d] = %v, want %v", trial, i, box[i], orig[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package physics
+
+import (
+	"math"
+
+	"genxio/internal/roccom"
+	"genxio/internal/rt"
+)
+
+// BurnModel selects one of Rocburn's one-dimensional burn-rate models with
+// integrated ignition, mirroring the combustion module of Figure 1(a)
+// (a 2-D framework hosting three 1-D models).
+type BurnModel int
+
+// Burn models.
+const (
+	// APN is the classic Saint-Robert pressure power law r = a*p^n.
+	APN BurnModel = iota
+	// WSB is a flame-temperature-sensitive law (simplified Ward-Son-
+	// Brewster): the APN rate modulated by surface temperature.
+	WSB
+	// ZN is a Zeldovich-Novozhilov-style law with transient lag: the
+	// rate relaxes toward the APN rate with a time constant.
+	ZN
+)
+
+// String returns the model name.
+func (m BurnModel) String() string {
+	switch m {
+	case APN:
+		return "APN"
+	case WSB:
+		return "WSB"
+	case ZN:
+		return "ZN"
+	}
+	return "unknown"
+}
+
+// Rocburn computes the propellant regression rate per fluid pane from the
+// pane's surface pressure, with an ignition model: a pane ignites when its
+// average surface pressure exceeds the ignition threshold, and burns from
+// then on.
+type Rocburn struct {
+	win         *roccom.Window // the fluid window (reads pressure, writes burnrate)
+	clock       rt.Clock
+	model       BurnModel
+	costPerPane float64
+
+	ignited map[int]bool
+	rate    map[int]float64 // ZN transient state
+
+	// APN coefficients (SI-ish): r = A * (p/pRef)^N  [m/s].
+	A, N, pRef float64
+	// IgnitionP is the pressure above which a pane ignites.
+	IgnitionP float64
+	// Tau is the ZN relaxation time constant.
+	Tau float64
+}
+
+// NewRocburn attaches a burn solver to the fluid window (which must carry
+// the attributes declared by NewRocflo).
+func NewRocburn(win *roccom.Window, clock rt.Clock, model BurnModel, costPerPane float64) *Rocburn {
+	return &Rocburn{
+		win: win, clock: clock, model: model, costPerPane: costPerPane,
+		ignited: make(map[int]bool),
+		rate:    make(map[int]float64),
+		A:       0.005, N: 0.35, pRef: 5e6,
+		IgnitionP: 4.5e6,
+		Tau:       0.01,
+	}
+}
+
+// Name implements Solver.
+func (r *Rocburn) Name() string { return "Rocburn-2D/" + r.model.String() }
+
+// Window implements Solver.
+func (r *Rocburn) Window() *roccom.Window { return r.win }
+
+// StableDt implements Solver: burn dynamics are slow compared to the
+// acoustics.
+func (r *Rocburn) StableDt() float64 { return 1e-3 }
+
+// Step implements Solver.
+func (r *Rocburn) Step(dt float64) {
+	panes := 0
+	r.win.EachPane(func(p *roccom.Pane) {
+		panes++
+		r.stepPane(p, dt)
+	})
+	r.clock.Compute(float64(panes) * r.costPerPane)
+}
+
+// SurfacePressure returns the average pressure on the burning surface
+// (the i = 0 plane) of a structured pane, or the overall average for
+// unstructured panes.
+func SurfacePressure(p *roccom.Pane) float64 {
+	pr, ok := p.Array("pressure")
+	if !ok || len(pr.F64) == 0 {
+		return 0
+	}
+	b := p.Block
+	if b.NI >= 2 {
+		var sum float64
+		cnt := 0
+		for k := 0; k < b.NK; k++ {
+			for j := 0; j < b.NJ; j++ {
+				sum += pr.F64[(k*b.NJ+j)*b.NI]
+				cnt++
+			}
+		}
+		return sum / float64(cnt)
+	}
+	var sum float64
+	for _, v := range pr.F64 {
+		sum += v
+	}
+	return sum / float64(len(pr.F64))
+}
+
+func (r *Rocburn) stepPane(p *roccom.Pane, dt float64) {
+	br, ok := p.Array("burnrate")
+	if !ok {
+		return
+	}
+	ps := SurfacePressure(p)
+	if !r.ignited[p.ID] {
+		if ps < r.IgnitionP {
+			br.F64[0] = 0
+			return
+		}
+		r.ignited[p.ID] = true
+	}
+	apn := r.A * math.Pow(ps/r.pRef, r.N)
+	switch r.model {
+	case APN:
+		br.F64[0] = apn
+	case WSB:
+		ts := 1.0
+		if tm, ok := p.Array("temperature"); ok && len(tm.F64) > 0 {
+			ts = tm.F64[0] / 300
+		}
+		br.F64[0] = apn * math.Sqrt(ts)
+	case ZN:
+		cur := r.rate[p.ID]
+		cur += (apn - cur) * dt / r.Tau
+		r.rate[p.ID] = cur
+		br.F64[0] = cur
+	}
+}
+
+// Ignited reports whether a pane has ignited.
+func (r *Rocburn) Ignited(paneID int) bool { return r.ignited[paneID] }

@@ -1,0 +1,113 @@
+package physics
+
+import (
+	"fmt"
+	"math"
+
+	"genxio/internal/roccom"
+	"genxio/internal/rt"
+)
+
+// Rocface transfers data across the fluid-solid interface (the paper's
+// jump-condition module): fluid surface pressure becomes solid surface
+// traction. The node mapping is a nearest-neighbor projection from each
+// solid surface node to the fluid surface nodes, built once per pane pair
+// and rebuilt when meshes change.
+//
+// GENx co-partitions the interface, so the transfer here is local: fluid
+// pane k maps to solid pane with the same position in the local pane
+// order. This keeps Rocface communication-free, as in the lab-scale runs.
+type Rocface struct {
+	fluid, solid *roccom.Window
+	clock        rt.Clock
+	costPerNode  float64
+	maps         map[int][]int32 // solid pane ID -> per-node fluid node index
+	pairs        map[int]int     // solid pane ID -> fluid pane ID
+}
+
+// NewRocface builds the transfer module between a fluid and a solid
+// window. The windows must hold the same number of local panes.
+func NewRocface(fluid, solid *roccom.Window, clock rt.Clock, costPerNode float64) (*Rocface, error) {
+	f := &Rocface{
+		fluid: fluid, solid: solid, clock: clock, costPerNode: costPerNode,
+		maps:  make(map[int][]int32),
+		pairs: make(map[int]int),
+	}
+	if err := f.RebuildMaps(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// RebuildMaps recomputes the pane pairing and node projections (called
+// after refinement changes the meshes).
+func (f *Rocface) RebuildMaps() error {
+	fids := f.fluid.PaneIDs()
+	sids := f.solid.PaneIDs()
+	if len(fids) != len(sids) {
+		return fmt.Errorf("rocface: %d fluid panes vs %d solid panes", len(fids), len(sids))
+	}
+	f.maps = make(map[int][]int32, len(sids))
+	f.pairs = make(map[int]int, len(sids))
+	for i, sid := range sids {
+		fp, _ := f.fluid.Pane(fids[i])
+		sp, _ := f.solid.Pane(sid)
+		f.pairs[sid] = fids[i]
+		f.maps[sid] = nearestNodes(sp, fp)
+	}
+	return nil
+}
+
+// nearestNodes maps each node of dst to its nearest node of src by
+// Euclidean distance (brute force per pane; panes are small by design).
+func nearestNodes(dst, src *roccom.Pane) []int32 {
+	out := make([]int32, dst.Block.NumNodes())
+	for n := range out {
+		x, y, z := dst.Block.Node(n)
+		best, bestD := 0, math.Inf(1)
+		for m := 0; m < src.Block.NumNodes(); m++ {
+			sx, sy, sz := src.Block.Node(m)
+			d := (sx-x)*(sx-x) + (sy-y)*(sy-y) + (sz-z)*(sz-z)
+			if d < bestD {
+				best, bestD = m, d
+			}
+		}
+		out[n] = int32(best)
+	}
+	return out
+}
+
+// Name implements Solver (Rocface participates in the step loop as the
+// transfer stage).
+func (f *Rocface) Name() string { return "Rocface" }
+
+// Window implements Solver; Rocface's primary window is the interface
+// (we report the solid window, which receives the transfer).
+func (f *Rocface) Window() *roccom.Window { return f.solid }
+
+// StableDt implements Solver: the transfer imposes no timestep bound.
+func (f *Rocface) StableDt() float64 { return math.Inf(1) }
+
+// Step implements Solver: it transfers fluid pressure to solid traction.
+func (f *Rocface) Step(dt float64) {
+	var nodes int
+	for _, sid := range f.solid.PaneIDs() {
+		sp, _ := f.solid.Pane(sid)
+		fp, _ := f.fluid.Pane(f.pairs[sid])
+		if fp == nil {
+			continue
+		}
+		nodes += sp.Block.NumNodes()
+		f.transferPane(sp, fp)
+	}
+	f.clock.Compute(float64(nodes) * f.costPerNode)
+}
+
+func (f *Rocface) transferPane(sp, fp *roccom.Pane) {
+	trac, _ := sp.Array("traction")
+	pr, _ := fp.Array("pressure")
+	m := f.maps[sp.ID]
+	for n := range m {
+		trac.F64[n] = pr.F64[m[n]]
+	}
+}

@@ -1,0 +1,176 @@
+package physics
+
+import (
+	"fmt"
+	"math"
+
+	"genxio/internal/roccom"
+	"genxio/internal/rt"
+)
+
+// Rocflu is the unstructured-mesh gas-dynamics solver (GENx offers both
+// Rocflo-MP on multi-block structured grids and Rocflu-MP on unstructured
+// meshes). It advances the same fluid state as Rocflo — pressure,
+// velocity, temperature, and a pane-level burn rate — but on tetrahedral
+// panes, using edge-based pressure smoothing over the element
+// connectivity instead of the structured stencil.
+type Rocflu struct {
+	win         *roccom.Window
+	clock       rt.Clock
+	costPerNode float64
+
+	// Per-pane precomputed node adjacency (edge lists) and the surface
+	// node set (innermost radius band) that receives burn mass.
+	adj     map[int][][]int32
+	surface map[int][]int32
+	scratch []float64
+}
+
+// NewRocflu declares the fluid attributes on win (the same set Rocflo
+// uses, so snapshots and Rocface are solver-agnostic) and prepares
+// registered panes.
+func NewRocflu(win *roccom.Window, clock rt.Clock, costPerNode float64) (*Rocflu, error) {
+	for _, s := range fluidAttrs {
+		if err := win.NewAttribute(s); err != nil {
+			return nil, err
+		}
+	}
+	r := &Rocflu{
+		win: win, clock: clock, costPerNode: costPerNode,
+		adj:     make(map[int][][]int32),
+		surface: make(map[int][]int32),
+	}
+	var err error
+	win.EachPane(func(p *roccom.Pane) {
+		if e := r.InitPane(p); e != nil && err == nil {
+			err = e
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// InitPane initializes state and connectivity caches for a pane.
+func (r *Rocflu) InitPane(p *roccom.Pane) error {
+	b := p.Block
+	if len(b.Conn) == 0 {
+		return fmt.Errorf("physics: Rocflu needs unstructured panes; pane %d has no connectivity", p.ID)
+	}
+	// Node adjacency from tet edges (deduplicated).
+	n := b.NumNodes()
+	seen := make(map[int64]bool)
+	adj := make([][]int32, n)
+	edges := [6][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}
+	for e := 0; e < b.NumElems(); e++ {
+		for _, ed := range edges {
+			a := b.Conn[4*e+ed[0]]
+			c := b.Conn[4*e+ed[1]]
+			lo, hi := a, c
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			key := int64(lo)<<32 | int64(hi)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			adj[a] = append(adj[a], c)
+			adj[c] = append(adj[c], a)
+		}
+	}
+	r.adj[p.ID] = adj
+
+	// Surface nodes: the innermost 10% radius band burns.
+	minR, maxR := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x, y, _ := b.Node(i)
+		rr := x*x + y*y
+		if i == 0 || rr < minR {
+			minR = rr
+		}
+		if i == 0 || rr > maxR {
+			maxR = rr
+		}
+	}
+	cut := minR + 0.1*(maxR-minR)
+	var surf []int32
+	for i := 0; i < n; i++ {
+		x, y, _ := b.Node(i)
+		if x*x+y*y <= cut {
+			surf = append(surf, int32(i))
+		}
+	}
+	r.surface[p.ID] = surf
+
+	// Initial state mirrors Rocflo's chamber condition.
+	pr, _ := p.Array("pressure")
+	tm, _ := p.Array("temperature")
+	for i := range pr.F64 {
+		_, _, z := b.Node(i)
+		pr.F64[i] = 5e6 * (1 - 0.05*z)
+		tm.F64[i] = 300
+	}
+	return nil
+}
+
+// Name implements Solver.
+func (r *Rocflu) Name() string { return "Rocflu-MP" }
+
+// Window implements Solver.
+func (r *Rocflu) Window() *roccom.Window { return r.win }
+
+// StableDt implements Solver.
+func (r *Rocflu) StableDt() float64 { return 1e-4 }
+
+// Step implements Solver.
+func (r *Rocflu) Step(dt float64) {
+	var nodes int
+	r.win.EachPane(func(p *roccom.Pane) {
+		nodes += p.Block.NumNodes()
+		r.stepPane(p, dt)
+	})
+	r.clock.Compute(float64(nodes) * r.costPerNode)
+}
+
+func (r *Rocflu) stepPane(p *roccom.Pane, dt float64) {
+	pr, _ := p.Array("pressure")
+	vel, _ := p.Array("velocity")
+	tm, _ := p.Array("temperature")
+	br, _ := p.Array("burnrate")
+	adj := r.adj[p.ID]
+	n := len(pr.F64)
+	if cap(r.scratch) < n {
+		r.scratch = make([]float64, n)
+	}
+	next := r.scratch[:n]
+
+	const kappa = 0.2
+	for i := 0; i < n; i++ {
+		if len(adj[i]) == 0 {
+			next[i] = pr.F64[i]
+			continue
+		}
+		var sum float64
+		for _, j := range adj[i] {
+			sum += pr.F64[j]
+		}
+		avg := sum / float64(len(adj[i]))
+		next[i] = pr.F64[i] + kappa*(avg-pr.F64[i])
+	}
+	for _, i := range r.surface[p.ID] {
+		next[i] += 2e8 * br.F64[0] * dt
+	}
+	copy(pr.F64, next)
+
+	// Velocity follows the local pressure gradient along edges;
+	// temperature tracks pressure adiabatically.
+	for i := 0; i < n; i++ {
+		if len(adj[i]) > 0 {
+			grad := pr.F64[adj[i][0]] - pr.F64[i]
+			vel.F64[3*i] += -1e-6 * grad * dt
+		}
+		tm.F64[i] = 300 * math.Pow(pr.F64[i]/5e6, 0.2857)
+	}
+}

@@ -1,0 +1,152 @@
+package physics
+
+import (
+	"math"
+
+	"genxio/internal/roccom"
+	"genxio/internal/rt"
+)
+
+// Rocsolid is GENx's second structural-mechanics solver: where Rocfrac is
+// an explicit elastodynamic code, Rocsolid is an implicit,
+// quasi-static solver — each step it relaxes the displacement field toward
+// equilibrium with the applied surface traction by damped Jacobi
+// iterations of the elastic system, so it tolerates much larger timesteps.
+// It uses the same solid window attributes as Rocfrac, so Rocface and the
+// I/O path are identical.
+type Rocsolid struct {
+	win         *roccom.Window
+	clock       rt.Clock
+	costPerNode float64
+	// Iterations is the number of relaxation sweeps per step (>= 1).
+	Iterations int
+
+	adj     map[int][][]int32
+	scratch []float64
+}
+
+// NewRocsolid declares the solid attributes on win and caches element
+// adjacency for registered panes.
+func NewRocsolid(win *roccom.Window, clock rt.Clock, costPerNode float64) (*Rocsolid, error) {
+	for _, s := range solidAttrs {
+		if err := win.NewAttribute(s); err != nil {
+			return nil, err
+		}
+	}
+	r := &Rocsolid{win: win, clock: clock, costPerNode: costPerNode, Iterations: 4,
+		adj: make(map[int][][]int32)}
+	win.EachPane(func(p *roccom.Pane) { r.InitPane(p) })
+	return r, nil
+}
+
+// InitPane caches node adjacency for a pane added after construction.
+func (r *Rocsolid) InitPane(p *roccom.Pane) {
+	b := p.Block
+	n := b.NumNodes()
+	seen := make(map[int64]bool)
+	adj := make([][]int32, n)
+	edges := [6][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}
+	for e := 0; e < b.NumElems(); e++ {
+		for _, ed := range edges {
+			a := b.Conn[4*e+ed[0]]
+			c := b.Conn[4*e+ed[1]]
+			lo, hi := a, c
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			key := int64(lo)<<32 | int64(hi)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			adj[a] = append(adj[a], c)
+			adj[c] = append(adj[c], a)
+		}
+	}
+	r.adj[p.ID] = adj
+}
+
+// Name implements Solver.
+func (r *Rocsolid) Name() string { return "Rocsolid" }
+
+// Window implements Solver.
+func (r *Rocsolid) Window() *roccom.Window { return r.win }
+
+// StableDt implements Solver: quasi-static, so the solid imposes a loose
+// bound (an order of magnitude above Rocfrac's explicit limit).
+func (r *Rocsolid) StableDt() float64 { return 5e-4 }
+
+// Step implements Solver: relaxation sweeps toward elastic equilibrium
+// under the current traction.
+func (r *Rocsolid) Step(dt float64) {
+	var nodes int
+	r.win.EachPane(func(p *roccom.Pane) {
+		nodes += p.Block.NumNodes()
+		r.stepPane(p, dt)
+	})
+	// Implicit solves cost more per node per step; charge per sweep.
+	r.clock.Compute(float64(nodes) * r.costPerNode * float64(r.Iterations))
+}
+
+func (r *Rocsolid) stepPane(p *roccom.Pane, dt float64) {
+	b := p.Block
+	disp, _ := p.Array("displacement")
+	trac, _ := p.Array("traction")
+	stress, _ := p.Array("stress")
+	vel, _ := p.Array("velocity")
+	adj := r.adj[p.ID]
+	n := b.NumNodes()
+	if cap(r.scratch) < 3*n {
+		r.scratch = make([]float64, 3*n)
+	}
+	next := r.scratch[:3*n]
+
+	const compliance = 1e-11 // displacement per unit traction at equilibrium
+	for sweep := 0; sweep < r.Iterations; sweep++ {
+		for i := 0; i < n; i++ {
+			if len(adj[i]) == 0 {
+				copy(next[3*i:3*i+3], disp.F64[3*i:3*i+3])
+				continue
+			}
+			// Jacobi: average of neighbors plus local traction load
+			// along the inward radial direction.
+			var sx, sy, sz float64
+			for _, j := range adj[i] {
+				sx += disp.F64[3*j]
+				sy += disp.F64[3*j+1]
+				sz += disp.F64[3*j+2]
+			}
+			k := float64(len(adj[i]))
+			x, y, _ := b.Node(i)
+			rr := x*x + y*y
+			var lx, ly float64
+			if rr > 0 {
+				lx = compliance * trac.F64[i] * x
+				ly = compliance * trac.F64[i] * y
+			}
+			next[3*i] = sx/k + lx
+			next[3*i+1] = sy/k + ly
+			next[3*i+2] = sz / k
+		}
+		copy(disp.F64, next)
+	}
+
+	// Velocity is the displacement rate (diagnostic for this solver);
+	// stress from edge strains, as in Rocfrac.
+	for i := range vel.F64 {
+		vel.F64[i] = 0
+	}
+	edges := [6][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}
+	for e := 0; e < b.NumElems(); e++ {
+		var strain float64
+		for _, ed := range edges {
+			a := int(b.Conn[4*e+ed[0]])
+			c := int(b.Conn[4*e+ed[1]])
+			for d := 0; d < 3; d++ {
+				rel := disp.F64[3*c+d] - disp.F64[3*a+d]
+				strain += rel * rel
+			}
+		}
+		stress.F64[e] = math.Sqrt(strain / 6)
+	}
+}

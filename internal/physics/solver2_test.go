@@ -1,0 +1,167 @@
+package physics
+
+import (
+	"math"
+	"testing"
+
+	"genxio/internal/mesh"
+	"genxio/internal/roccom"
+	"genxio/internal/rt"
+	"genxio/internal/stats"
+)
+
+// tetWindows builds paired unstructured fluid and solid windows.
+func tetWindows(t testing.TB, n int) (*roccom.Window, *roccom.Window, *Rocflu, *Rocsolid) {
+	t.Helper()
+	rc := roccom.New()
+	fw, _ := rc.NewWindow("fluid")
+	sw, _ := rc.NewWindow("solid")
+	clock := rt.NewWallClock()
+	flu, err := NewRocflu(fw, clock, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := NewRocsolid(sw, clock, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks, err := mesh.GenCylinder(mesh.CylinderSpec{
+		RInner: 0.1, ROuter: 0.3, Length: 0.6,
+		BR: 1, BT: n, BZ: 1, NodesPerBlock: 150, Spread: 0.2,
+	}, 1, stats.NewRNG(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range blocks {
+		tet, err := mesh.Tetrahedralize(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := fw.RegisterPane(tet.ID, tet)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := flu.InitPane(p); err != nil {
+			t.Fatal(err)
+		}
+		tet2, _ := mesh.Tetrahedralize(b)
+		sp, err := sw.RegisterPane(tet2.ID, tet2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs.InitPane(sp)
+		_ = sp
+	}
+	return fw, sw, flu, rs
+}
+
+func TestRocfluStepFiniteAndSmoothing(t *testing.T) {
+	fw, _, flu, _ := tetWindows(t, 2)
+	if flu.Name() != "Rocflu-MP" || flu.Window() != fw || flu.StableDt() <= 0 {
+		t.Fatal("identity accessors broken")
+	}
+	p, _ := fw.Pane(1)
+	pr, _ := p.Array("pressure")
+	pr.F64[0] = 7e6
+	spread0 := spread(pr.F64)
+	for i := 0; i < 10; i++ {
+		flu.Step(1e-4)
+	}
+	if s := spread(pr.F64); s >= spread0 {
+		t.Fatalf("pressure spread grew: %v -> %v", spread0, s)
+	}
+	finiteAll(t, fw, "pressure")
+	finiteAll(t, fw, "velocity")
+	finiteAll(t, fw, "temperature")
+}
+
+func TestRocfluRequiresUnstructured(t *testing.T) {
+	rc := roccom.New()
+	fw, _ := rc.NewWindow("fluid")
+	flu, err := NewRocflu(fw, rt.NewWallClock(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks, _ := mesh.GenCylinder(mesh.CylinderSpec{
+		RInner: 0.1, ROuter: 0.2, Length: 0.5,
+		BR: 1, BT: 1, BZ: 1, NodesPerBlock: 60,
+	}, 1, stats.NewRNG(1))
+	p, _ := fw.RegisterPane(1, blocks[0]) // structured
+	if err := flu.InitPane(p); err == nil {
+		t.Fatal("structured pane accepted")
+	}
+}
+
+func TestRocfluBurnCoupling(t *testing.T) {
+	fw, _, flu, _ := tetWindows(t, 1)
+	burn := NewRocburn(fw, rt.NewWallClock(), APN, 0)
+	p, _ := fw.Pane(1)
+	pr, _ := p.Array("pressure")
+	mean0 := stats.Mean(pr.F64)
+	dt := 1e-4
+	for i := 0; i < 50; i++ {
+		flu.Step(dt)
+		burn.Step(dt)
+	}
+	if !burn.Ignited(1) {
+		t.Fatal("pane did not ignite")
+	}
+	if stats.Mean(pr.F64) <= mean0 {
+		t.Fatal("burning did not pressurize the unstructured chamber")
+	}
+}
+
+func TestRocsolidRelaxesTowardEquilibrium(t *testing.T) {
+	_, sw, _, rs := tetWindows(t, 1)
+	if rs.Name() != "Rocsolid" || rs.StableDt() <= rocfracDt() {
+		t.Fatal("identity/dt broken")
+	}
+	sw.EachPane(func(p *roccom.Pane) {
+		trac, _ := p.Array("traction")
+		for i := range trac.F64 {
+			trac.F64[i] = 5e6
+		}
+	})
+	var prevNorm float64
+	var deltas []float64
+	for i := 0; i < 30; i++ {
+		rs.Step(5e-4)
+		var norm float64
+		sw.EachPane(func(p *roccom.Pane) {
+			d, _ := p.Array("displacement")
+			for _, v := range d.F64 {
+				norm += v * v
+			}
+		})
+		norm = math.Sqrt(norm)
+		deltas = append(deltas, math.Abs(norm-prevNorm))
+		prevNorm = norm
+	}
+	if prevNorm == 0 {
+		t.Fatal("no displacement under load")
+	}
+	// Quasi-static relaxation: the per-step change must shrink.
+	if deltas[len(deltas)-1] >= deltas[1]/2 {
+		t.Fatalf("not converging: first delta %v, last %v", deltas[1], deltas[len(deltas)-1])
+	}
+	finiteAll(t, sw, "displacement")
+	finiteAll(t, sw, "stress")
+	// Stress must be nonzero under load.
+	var anyStress bool
+	sw.EachPane(func(p *roccom.Pane) {
+		st, _ := p.Array("stress")
+		for _, v := range st.F64 {
+			if v > 0 {
+				anyStress = true
+			}
+		}
+	})
+	if !anyStress {
+		t.Fatal("no stress under load")
+	}
+}
+
+func rocfracDt() float64 {
+	r := &Rocfrac{}
+	return r.StableDt()
+}

@@ -1,0 +1,201 @@
+// Package rocblas provides the paper's parallel algebraic operators over
+// window attributes (Figure 1(a)'s Rocblas module): elementwise vector
+// operations across all panes of a window, plus global reductions over the
+// client communicator. The physics modules use it for jump conditions and
+// convergence/diagnostic norms.
+package rocblas
+
+import (
+	"fmt"
+	"math"
+
+	"genxio/internal/hdf"
+	"genxio/internal/mpi"
+	"genxio/internal/roccom"
+)
+
+// f64 returns the float64 storage of attribute name on pane p, or an error.
+func f64(p *roccom.Pane, name string) ([]float64, error) {
+	a, ok := p.Array(name)
+	if !ok {
+		return nil, fmt.Errorf("rocblas: pane %d has no attribute %q", p.ID, name)
+	}
+	if a.Spec.Type != hdf.F64 {
+		return nil, fmt.Errorf("rocblas: attribute %q is %v, want float64", name, a.Spec.Type)
+	}
+	return a.F64, nil
+}
+
+// sameShape verifies x and y are compatible on p and returns both.
+func sameShape(p *roccom.Pane, x, y string) ([]float64, []float64, error) {
+	xs, err := f64(p, x)
+	if err != nil {
+		return nil, nil, err
+	}
+	ys, err := f64(p, y)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(xs) != len(ys) {
+		return nil, nil, fmt.Errorf("rocblas: %q (%d) and %q (%d) differ in size on pane %d",
+			x, len(xs), y, len(ys), p.ID)
+	}
+	return xs, ys, nil
+}
+
+// forPanes runs fn over every pane, stopping at the first error.
+func forPanes(w *roccom.Window, fn func(*roccom.Pane) error) error {
+	var err error
+	w.EachPane(func(p *roccom.Pane) {
+		if err == nil {
+			err = fn(p)
+		}
+	})
+	return err
+}
+
+// Fill sets every element of attribute x to alpha: x := alpha.
+func Fill(w *roccom.Window, x string, alpha float64) error {
+	return forPanes(w, func(p *roccom.Pane) error {
+		xs, err := f64(p, x)
+		if err != nil {
+			return err
+		}
+		for i := range xs {
+			xs[i] = alpha
+		}
+		return nil
+	})
+}
+
+// Scale multiplies attribute x by alpha: x := alpha * x.
+func Scale(w *roccom.Window, x string, alpha float64) error {
+	return forPanes(w, func(p *roccom.Pane) error {
+		xs, err := f64(p, x)
+		if err != nil {
+			return err
+		}
+		for i := range xs {
+			xs[i] *= alpha
+		}
+		return nil
+	})
+}
+
+// Axpy computes y := alpha*x + y over all panes.
+func Axpy(w *roccom.Window, alpha float64, x, y string) error {
+	return forPanes(w, func(p *roccom.Pane) error {
+		xs, ys, err := sameShape(p, x, y)
+		if err != nil {
+			return err
+		}
+		for i := range xs {
+			ys[i] += alpha * xs[i]
+		}
+		return nil
+	})
+}
+
+// Copy computes y := x over all panes.
+func Copy(w *roccom.Window, x, y string) error {
+	return forPanes(w, func(p *roccom.Pane) error {
+		xs, ys, err := sameShape(p, x, y)
+		if err != nil {
+			return err
+		}
+		copy(ys, xs)
+		return nil
+	})
+}
+
+// Dot returns the global dot product of attributes x and y across all
+// panes of all ranks of comm. Every rank of comm must call it.
+func Dot(comm mpi.Comm, w *roccom.Window, x, y string) (float64, error) {
+	var local float64
+	err := forPanes(w, func(p *roccom.Pane) error {
+		xs, ys, err := sameShape(p, x, y)
+		if err != nil {
+			return err
+		}
+		for i := range xs {
+			local += xs[i] * ys[i]
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return comm.AllreduceSum(local), nil
+}
+
+// Norm2 returns the global Euclidean norm of attribute x.
+func Norm2(comm mpi.Comm, w *roccom.Window, x string) (float64, error) {
+	d, err := Dot(comm, w, x, x)
+	if err != nil {
+		return 0, err
+	}
+	return math.Sqrt(d), nil
+}
+
+// Max returns the global maximum element of attribute x. It returns -Inf
+// when no rank has any elements.
+func Max(comm mpi.Comm, w *roccom.Window, x string) (float64, error) {
+	local := math.Inf(-1)
+	err := forPanes(w, func(p *roccom.Pane) error {
+		xs, err := f64(p, x)
+		if err != nil {
+			return err
+		}
+		for _, v := range xs {
+			if v > local {
+				local = v
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return comm.AllreduceMax(local), nil
+}
+
+// Min returns the global minimum element of attribute x. It returns +Inf
+// when no rank has any elements.
+func Min(comm mpi.Comm, w *roccom.Window, x string) (float64, error) {
+	local := math.Inf(1)
+	err := forPanes(w, func(p *roccom.Pane) error {
+		xs, err := f64(p, x)
+		if err != nil {
+			return err
+		}
+		for _, v := range xs {
+			if v < local {
+				local = v
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return comm.AllreduceMin(local), nil
+}
+
+// Sum returns the global sum of attribute x.
+func Sum(comm mpi.Comm, w *roccom.Window, x string) (float64, error) {
+	var local float64
+	err := forPanes(w, func(p *roccom.Pane) error {
+		xs, err := f64(p, x)
+		if err != nil {
+			return err
+		}
+		for _, v := range xs {
+			local += v
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return comm.AllreduceSum(local), nil
+}

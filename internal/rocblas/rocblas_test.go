@@ -1,0 +1,136 @@
+package rocblas
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"genxio/internal/hdf"
+	"genxio/internal/mesh"
+	"genxio/internal/mpi"
+	"genxio/internal/roccom"
+	"genxio/internal/rt"
+	"genxio/internal/stats"
+)
+
+// window builds a window with two float64 attributes and one int32
+// attribute across a few panes on one rank.
+func window(t testing.TB, rank int) *roccom.Window {
+	rc := roccom.New()
+	w, _ := rc.NewWindow("w")
+	w.NewAttribute(roccom.AttrSpec{Name: "x", Loc: roccom.NodeLoc, Type: hdf.F64, NComp: 1})
+	w.NewAttribute(roccom.AttrSpec{Name: "y", Loc: roccom.NodeLoc, Type: hdf.F64, NComp: 1})
+	w.NewAttribute(roccom.AttrSpec{Name: "flag", Loc: roccom.PaneLoc, Type: hdf.I32, NComp: 1})
+	blocks, err := mesh.GenCylinder(mesh.CylinderSpec{
+		RInner: 0.1, ROuter: 0.2, Length: 0.4,
+		BR: 1, BT: 2, BZ: 1, NodesPerBlock: 40, Spread: 0.2,
+	}, 100*rank+1, stats.NewRNG(uint64(rank)+1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range blocks {
+		w.RegisterPane(b.ID, b)
+	}
+	return w
+}
+
+func TestLocalOps(t *testing.T) {
+	w := window(t, 0)
+	if err := Fill(w, "x", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := Fill(w, "y", 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := Axpy(w, 2, "x", "y"); err != nil { // y = 2*2+3 = 7
+		t.Fatal(err)
+	}
+	if err := Scale(w, "y", 0.5); err != nil { // y = 3.5
+		t.Fatal(err)
+	}
+	if err := Copy(w, "y", "x"); err != nil {
+		t.Fatal(err)
+	}
+	w.EachPane(func(p *roccom.Pane) {
+		xs, _ := p.Array("x")
+		for _, v := range xs.F64 {
+			if v != 3.5 {
+				t.Fatalf("x = %v, want 3.5", v)
+			}
+		}
+	})
+}
+
+func TestErrorsOnBadAttributes(t *testing.T) {
+	w := window(t, 0)
+	if err := Fill(w, "nosuch", 1); err == nil {
+		t.Fatal("unknown attribute accepted")
+	}
+	if err := Fill(w, "flag", 1); err == nil {
+		t.Fatal("int32 attribute accepted as float64")
+	}
+	// Mismatched sizes: node-centered 3-comp vs 1-comp.
+	w.NewAttribute(roccom.AttrSpec{Name: "v3", Loc: roccom.NodeLoc, Type: hdf.F64, NComp: 3})
+	if err := Axpy(w, 1, "v3", "x"); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}
+
+func TestGlobalReductions(t *testing.T) {
+	world := mpi.NewChanWorld(rt.NewMemFS(), 1)
+	const n = 4
+	err := world.Run(n, func(ctx mpi.Ctx) error {
+		c := ctx.Comm()
+		w := window(t, c.Rank())
+		// x = rank+1 everywhere; y = 2.
+		Fill(w, "x", float64(c.Rank()+1))
+		Fill(w, "y", 2)
+		var localElems int
+		w.EachPane(func(p *roccom.Pane) { localElems += p.Block.NumNodes() })
+
+		dot, err := Dot(c, w, "x", "y")
+		if err != nil {
+			return err
+		}
+		// Each rank contributes 2*(rank+1)*elems; elems vary by rank, so
+		// verify against an allreduce of the local expectation.
+		wantDot := c.AllreduceSum(2 * float64(c.Rank()+1) * float64(localElems))
+		if math.Abs(dot-wantDot) > 1e-9*wantDot {
+			return fmt.Errorf("dot = %v, want %v", dot, wantDot)
+		}
+
+		max, err := Max(c, w, "x")
+		if err != nil {
+			return err
+		}
+		if max != n {
+			return fmt.Errorf("max = %v, want %d", max, n)
+		}
+		min, err := Min(c, w, "x")
+		if err != nil {
+			return err
+		}
+		if min != 1 {
+			return fmt.Errorf("min = %v", min)
+		}
+		sum, err := Sum(c, w, "y")
+		if err != nil {
+			return err
+		}
+		wantSum := c.AllreduceSum(2 * float64(localElems))
+		if math.Abs(sum-wantSum) > 1e-9*wantSum {
+			return fmt.Errorf("sum = %v, want %v", sum, wantSum)
+		}
+		norm, err := Norm2(c, w, "y")
+		if err != nil {
+			return err
+		}
+		if math.Abs(norm-math.Sqrt(2*wantSum)) > 1e-9 {
+			return fmt.Errorf("norm = %v", norm)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,315 @@
+package roccom
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"genxio/internal/hdf"
+	"genxio/internal/mesh"
+)
+
+// IOSet is one dataset extracted from a pane — the unit that flows through
+// the I/O stack, whether onto the wire (client to Rocpanda server) or into
+// an RHDF file. Name is the full dataset path.
+type IOSet struct {
+	Name  string
+	Type  hdf.DType
+	Dims  []int64
+	Attrs []hdf.Attr
+	Data  []byte
+}
+
+// NumBytes returns the payload size.
+func (s *IOSet) NumBytes() int { return len(s.Data) }
+
+// Dataset path grammar: /<window>/pane<ID>/<attr>. The mesh itself is
+// stored under the reserved attribute names "_coords" and "_conn".
+const (
+	coordsAttr = "_coords"
+	connAttr   = "_conn"
+)
+
+// PanePrefix returns the dataset path prefix of a pane.
+func PanePrefix(window string, paneID int) string {
+	return fmt.Sprintf("/%s/pane%06d/", window, paneID)
+}
+
+// ParseDatasetName splits a dataset path into window, pane ID, and
+// attribute name.
+func ParseDatasetName(name string) (window string, paneID int, attr string, ok bool) {
+	parts := strings.Split(name, "/")
+	if len(parts) != 4 || parts[0] != "" {
+		return "", 0, "", false
+	}
+	if !strings.HasPrefix(parts[2], "pane") {
+		return "", 0, "", false
+	}
+	id, err := strconv.Atoi(parts[2][4:])
+	if err != nil {
+		return "", 0, "", false
+	}
+	return parts[1], id, parts[3], true
+}
+
+// PaneIOSets extracts datasets from a pane. The attribute selector follows
+// the paper's write_attribute semantics: "all" writes the mesh and every
+// declared attribute, "mesh" writes only the mesh, and any other value
+// writes the single named attribute.
+func PaneIOSets(w *Window, p *Pane, attr string) ([]IOSet, error) {
+	prefix := PanePrefix(w.Name, p.ID)
+	var sets []IOSet
+
+	addMesh := attr == "all" || attr == "mesh"
+	if addMesh {
+		b := p.Block
+		meshAttrs := []hdf.Attr{
+			hdf.I32Attr("kind", int32(b.Kind)),
+			hdf.I32Attr("extent", int32(b.NI), int32(b.NJ), int32(b.NK)),
+			hdf.I32Attr("level", int32(b.Level)),
+		}
+		sets = append(sets, IOSet{
+			Name:  prefix + coordsAttr,
+			Type:  hdf.F64,
+			Dims:  []int64{int64(b.NumNodes()), 3},
+			Attrs: meshAttrs,
+			Data:  hdf.F64Bytes(b.Coords),
+		})
+		if b.Kind == mesh.Unstructured {
+			sets = append(sets, IOSet{
+				Name: prefix + connAttr,
+				Type: hdf.I32,
+				Dims: []int64{int64(b.NumElems()), 4},
+				Data: hdf.I32Bytes(b.Conn),
+			})
+		}
+	}
+	if attr == "mesh" {
+		return sets, nil
+	}
+
+	var specs []AttrSpec
+	if attr == "all" {
+		specs = w.Attributes()
+	} else {
+		spec, ok := w.Attribute(attr)
+		if !ok {
+			return nil, fmt.Errorf("roccom: window %q has no attribute %q", w.Name, attr)
+		}
+		specs = []AttrSpec{spec}
+	}
+	for _, spec := range specs {
+		a, ok := p.Array(spec.Name)
+		if !ok {
+			return nil, fmt.Errorf("roccom: pane %d missing attribute %q", p.ID, spec.Name)
+		}
+		items := spec.items(p.Block)
+		sets = append(sets, IOSet{
+			Name: prefix + spec.Name,
+			Type: spec.Type,
+			Dims: []int64{int64(items), int64(spec.NComp)},
+			Attrs: []hdf.Attr{
+				hdf.StrAttr("location", string(spec.Loc)),
+			},
+			Data: a.Bytes(),
+		})
+	}
+	return sets, nil
+}
+
+// RestorePane rebuilds a pane from its datasets (read from a restart file)
+// and registers it in the window: the mesh block is reconstructed from the
+// reserved datasets and every attribute present is decoded into the pane's
+// arrays. Attributes declared on the window but absent from sets are left
+// zero.
+func RestorePane(w *Window, paneID int, sets []IOSet) (*Pane, error) {
+	byAttr := make(map[string]*IOSet, len(sets))
+	for i := range sets {
+		_, id, attr, ok := ParseDatasetName(sets[i].Name)
+		if !ok {
+			return nil, fmt.Errorf("roccom: bad dataset name %q", sets[i].Name)
+		}
+		if id != paneID {
+			return nil, fmt.Errorf("roccom: dataset %q does not belong to pane %d", sets[i].Name, paneID)
+		}
+		byAttr[attr] = &sets[i]
+	}
+	cs, ok := byAttr[coordsAttr]
+	if !ok {
+		return nil, fmt.Errorf("roccom: pane %d restart data has no mesh coordinates", paneID)
+	}
+	kindA, ok1 := attrOf(cs, "kind")
+	extentA, ok2 := attrOf(cs, "extent")
+	levelA, ok3 := attrOf(cs, "level")
+	if !ok1 || !ok2 || !ok3 {
+		return nil, fmt.Errorf("roccom: pane %d coords dataset missing mesh metadata", paneID)
+	}
+	b := &mesh.Block{
+		ID:     paneID,
+		Kind:   mesh.Kind(kindA.I32s()[0]),
+		Coords: hdf.BytesF64(cs.Data),
+		Level:  int(levelA.I32s()[0]),
+	}
+	ext := extentA.I32s()
+	if len(ext) == 3 {
+		b.NI, b.NJ, b.NK = int(ext[0]), int(ext[1]), int(ext[2])
+	}
+	if b.Kind == mesh.Unstructured {
+		conn, ok := byAttr[connAttr]
+		if !ok {
+			return nil, fmt.Errorf("roccom: unstructured pane %d has no connectivity", paneID)
+		}
+		b.Conn = hdf.BytesI32(conn.Data)
+		b.NI, b.NJ, b.NK = 0, 0, 0
+	}
+	p, err := w.RegisterPane(paneID, b)
+	if err != nil {
+		return nil, err
+	}
+	for _, spec := range w.Attributes() {
+		s, ok := byAttr[spec.Name]
+		if !ok {
+			continue
+		}
+		a, _ := p.Array(spec.Name)
+		if err := a.SetBytes(s.Data); err != nil {
+			w.DeletePane(paneID)
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+func attrOf(s *IOSet, name string) (hdf.Attr, bool) {
+	for _, a := range s.Attrs {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return hdf.Attr{}, false
+}
+
+// EncodeIOSets serializes datasets for the wire (client-to-server block
+// shipping in Rocpanda's protocol).
+func EncodeIOSets(sets []IOSet) []byte {
+	var b []byte
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(sets)))
+	for _, s := range sets {
+		b = appendStr(b, s.Name)
+		b = append(b, byte(s.Type))
+		b = append(b, byte(len(s.Dims)))
+		for _, d := range s.Dims {
+			b = binary.LittleEndian.AppendUint64(b, uint64(d))
+		}
+		b = binary.LittleEndian.AppendUint16(b, uint16(len(s.Attrs)))
+		for _, a := range s.Attrs {
+			b = appendStr(b, a.Name)
+			b = append(b, byte(a.Type))
+			b = binary.LittleEndian.AppendUint32(b, uint32(len(a.Data)))
+			b = append(b, a.Data...)
+		}
+		b = binary.LittleEndian.AppendUint64(b, uint64(len(s.Data)))
+		b = append(b, s.Data...)
+	}
+	return b
+}
+
+// DecodeIOSets parses the wire form produced by EncodeIOSets.
+func DecodeIOSets(b []byte) ([]IOSet, error) {
+	c := cursor{b: b}
+	n := int(c.u32())
+	sets := make([]IOSet, 0, n)
+	for i := 0; i < n; i++ {
+		var s IOSet
+		s.Name = c.str()
+		s.Type = hdf.DType(c.u8())
+		nd := int(c.u8())
+		s.Dims = make([]int64, nd)
+		for j := range s.Dims {
+			s.Dims[j] = int64(c.u64())
+		}
+		na := int(c.u16())
+		s.Attrs = make([]hdf.Attr, na)
+		for j := range s.Attrs {
+			s.Attrs[j].Name = c.str()
+			s.Attrs[j].Type = hdf.DType(c.u8())
+			s.Attrs[j].Data = c.bytes(int(c.u32()))
+		}
+		s.Data = c.bytes(int(c.u64()))
+		if c.err != nil {
+			return nil, fmt.Errorf("roccom: corrupt IOSet stream at %d: %w", i, c.err)
+		}
+		sets = append(sets, s)
+	}
+	return sets, nil
+}
+
+func appendStr(b []byte, s string) []byte {
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(s)))
+	return append(b, s...)
+}
+
+type cursor struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (c *cursor) need(n int) bool {
+	if c.err != nil {
+		return false
+	}
+	if c.off+n > len(c.b) {
+		c.err = fmt.Errorf("truncated at %d (need %d of %d)", c.off, n, len(c.b))
+		return false
+	}
+	return true
+}
+
+func (c *cursor) u8() uint8 {
+	if !c.need(1) {
+		return 0
+	}
+	v := c.b[c.off]
+	c.off++
+	return v
+}
+
+func (c *cursor) u16() uint16 {
+	if !c.need(2) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(c.b[c.off:])
+	c.off += 2
+	return v
+}
+
+func (c *cursor) u32() uint32 {
+	if !c.need(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(c.b[c.off:])
+	c.off += 4
+	return v
+}
+
+func (c *cursor) u64() uint64 {
+	if !c.need(8) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(c.b[c.off:])
+	c.off += 8
+	return v
+}
+
+func (c *cursor) bytes(n int) []byte {
+	if n < 0 || !c.need(n) {
+		return nil
+	}
+	v := append([]byte(nil), c.b[c.off:c.off+n]...)
+	c.off += n
+	return v
+}
+
+func (c *cursor) str() string { return string(c.bytes(int(c.u16()))) }

@@ -1,0 +1,150 @@
+package roccom
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Function is a registered module function, invoked by name through
+// CallFunction. Modules exchange data and services exclusively through
+// this registry and the window registry, so a computation module never
+// needs to know which I/O module (or peer physics module) it is talking
+// to.
+type Function func(args ...interface{}) (interface{}, error)
+
+// Module is a loadable service or physics component. Load typically
+// creates a window named name and registers the module's public functions
+// on it; Unload reverses that.
+type Module interface {
+	Load(rc *Roccom, name string) error
+	Unload(rc *Roccom, name string) error
+}
+
+// Roccom is the integration hub: the registry of windows, functions, and
+// loaded modules for one process.
+type Roccom struct {
+	windows map[string]*Window
+	funcs   map[string]Function
+	modules map[string]Module
+}
+
+// New returns an empty hub.
+func New() *Roccom {
+	return &Roccom{
+		windows: make(map[string]*Window),
+		funcs:   make(map[string]Function),
+		modules: make(map[string]Module),
+	}
+}
+
+// NewWindow creates a window with the given name.
+func (rc *Roccom) NewWindow(name string) (*Window, error) {
+	if name == "" || strings.Contains(name, ".") || strings.Contains(name, "/") {
+		return nil, fmt.Errorf("roccom: invalid window name %q", name)
+	}
+	if _, dup := rc.windows[name]; dup {
+		return nil, fmt.Errorf("roccom: window %q already exists", name)
+	}
+	w := newWindow(name)
+	rc.windows[name] = w
+	return w, nil
+}
+
+// Window returns the named window.
+func (rc *Roccom) Window(name string) (*Window, bool) {
+	w, ok := rc.windows[name]
+	return w, ok
+}
+
+// DeleteWindow removes a window and every function registered under it.
+func (rc *Roccom) DeleteWindow(name string) error {
+	if _, ok := rc.windows[name]; !ok {
+		return fmt.Errorf("roccom: no window %q", name)
+	}
+	delete(rc.windows, name)
+	prefix := name + "."
+	for fname := range rc.funcs {
+		if strings.HasPrefix(fname, prefix) {
+			delete(rc.funcs, fname)
+		}
+	}
+	return nil
+}
+
+// WindowNames returns all window names in lexical order.
+func (rc *Roccom) WindowNames() []string {
+	names := make([]string, 0, len(rc.windows))
+	for n := range rc.windows {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// RegisterFunction registers fn under "window.function" notation.
+func (rc *Roccom) RegisterFunction(name string, fn Function) error {
+	if fn == nil {
+		return fmt.Errorf("roccom: nil function %q", name)
+	}
+	parts := strings.SplitN(name, ".", 2)
+	if len(parts) != 2 || parts[0] == "" || parts[1] == "" {
+		return fmt.Errorf("roccom: function name %q must be window.function", name)
+	}
+	if _, ok := rc.windows[parts[0]]; !ok {
+		return fmt.Errorf("roccom: function %q registered on unknown window %q", name, parts[0])
+	}
+	if _, dup := rc.funcs[name]; dup {
+		return fmt.Errorf("roccom: function %q already registered", name)
+	}
+	rc.funcs[name] = fn
+	return nil
+}
+
+// CallFunction dispatches to a registered function by name — the paper's
+// COM_call_function. The application selects its I/O implementation simply
+// by which module was loaded; the call site does not change.
+func (rc *Roccom) CallFunction(name string, args ...interface{}) (interface{}, error) {
+	fn, ok := rc.funcs[name]
+	if !ok {
+		return nil, fmt.Errorf("roccom: no function %q", name)
+	}
+	return fn(args...)
+}
+
+// HasFunction reports whether a function is registered.
+func (rc *Roccom) HasFunction(name string) bool {
+	_, ok := rc.funcs[name]
+	return ok
+}
+
+// LoadModule loads a module under the given name (usually the name of the
+// window the module creates). Loading two modules under one name is an
+// error; the paper's runtime I/O selection loads either Rocpanda or Rochdf
+// here.
+func (rc *Roccom) LoadModule(m Module, name string) error {
+	if _, dup := rc.modules[name]; dup {
+		return fmt.Errorf("roccom: module %q already loaded", name)
+	}
+	if err := m.Load(rc, name); err != nil {
+		return err
+	}
+	rc.modules[name] = m
+	return nil
+}
+
+// UnloadModule unloads the named module.
+func (rc *Roccom) UnloadModule(name string) error {
+	m, ok := rc.modules[name]
+	if !ok {
+		return fmt.Errorf("roccom: module %q not loaded", name)
+	}
+	delete(rc.modules, name)
+	return m.Unload(rc, name)
+}
+
+// ModuleLoaded reports whether a module is loaded under name.
+func (rc *Roccom) ModuleLoaded(name string) bool {
+	_, ok := rc.modules[name]
+	return ok
+}

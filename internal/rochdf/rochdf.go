@@ -1,0 +1,344 @@
+// Package rochdf implements the paper's server-less individual-I/O module:
+// each compute processor writes its own data blocks into its own
+// scientific-format file, one file per process per snapshot. Two variants
+// are provided, as in the paper:
+//
+//   - Rochdf (Threaded=false): the baseline — writes happen synchronously
+//     inside write_attribute, so the application-visible I/O time is the
+//     full file I/O time.
+//
+//   - T-Rochdf (Threaded=true): a single persistent background I/O thread
+//     per process drains a local buffer while the main thread computes.
+//     write_attribute only copies the data locally; the main thread blocks
+//     at the next snapshot until the thread has finished the previous one
+//     (bounded memory), and sync waits for everything to reach the
+//     filesystem. The overlap is transparent: callers keep the blocking
+//     interface and may reuse buffers immediately.
+//
+// Individual I/O avoids all communication and scales writes with the
+// number of processors, but creates as many files per snapshot as
+// processes — the file-management problem that motivates Rocpanda.
+package rochdf
+
+import (
+	"fmt"
+
+	"genxio/internal/hdf"
+	"genxio/internal/mpi"
+	"genxio/internal/roccom"
+	"genxio/internal/rt"
+)
+
+// Config configures a Rochdf instance.
+type Config struct {
+	// Profile is the scientific-library cost model (HDF4 in the paper).
+	Profile hdf.CostProfile
+	// Threaded selects T-Rochdf: buffer locally and write in background.
+	Threaded bool
+	// BufferBW is the local buffer-copy bandwidth (bytes/s) charged for
+	// T-Rochdf's buffering on simulated platforms; <= 0 charges nothing.
+	BufferBW float64
+	// Compress stores snapshot datasets deflate-compressed.
+	Compress bool
+}
+
+// Metrics accumulates the per-process costs the paper reports.
+type Metrics struct {
+	VisibleWrite float64 // time spent inside write_attribute
+	VisibleRead  float64 // time spent inside read_attribute
+	SyncWait     float64 // time spent inside sync
+	WriteCalls   int
+	ReadCalls    int
+	BytesOut     int64 // payload bytes handed to write_attribute
+	FilesCreated int
+}
+
+// Rochdf is one process's individual-I/O service.
+type Rochdf struct {
+	rank    int
+	clock   rt.Clock
+	fs      rt.FS
+	cfg     Config
+	created map[string]bool // file names already created (append afterwards)
+
+	// T-Rochdf state.
+	jobs        rt.Queue
+	done        rt.Queue
+	outstanding int
+	lastFile    string
+	closed      bool
+
+	m Metrics
+}
+
+type writeJob struct {
+	fname   string
+	newFile bool
+	sets    []roccom.IOSet
+	time    float64
+	step    int
+}
+
+// New returns a Rochdf service for the calling rank. With Threaded set it
+// spawns the background I/O thread immediately (one persistent thread per
+// process, as in the paper).
+func New(ctx mpi.Ctx, cfg Config) *Rochdf {
+	h := &Rochdf{
+		rank:    ctx.Comm().Rank(),
+		clock:   ctx.Clock(),
+		fs:      ctx.FS(),
+		cfg:     cfg,
+		created: make(map[string]bool),
+	}
+	if cfg.Threaded {
+		h.jobs = ctx.NewQueue(8)
+		h.done = ctx.NewQueue(64)
+		ctx.Spawn("rochdf-io", h.ioThread)
+	}
+	return h
+}
+
+// Metrics returns the accumulated costs.
+func (h *Rochdf) Metrics() Metrics { return h.m }
+
+// fileName returns this rank's file for a snapshot base name.
+func (h *Rochdf) fileName(base string) string {
+	return fmt.Sprintf("%s_p%05d.rhdf", base, h.rank)
+}
+
+// WriteAttribute implements roccom.IOService.
+func (h *Rochdf) WriteAttribute(file string, w *roccom.Window, attr string, tm float64, step int) error {
+	if h.closed {
+		return fmt.Errorf("rochdf: write after Close")
+	}
+	t0 := h.clock.Now()
+	defer func() {
+		h.m.VisibleWrite += h.clock.Now() - t0
+		h.m.WriteCalls++
+	}()
+
+	fname := h.fileName(file)
+	var sets []roccom.IOSet
+	var bytes int64
+	var err error
+	w.EachPane(func(p *roccom.Pane) {
+		if err != nil {
+			return
+		}
+		var ps []roccom.IOSet
+		ps, err = roccom.PaneIOSets(w, p, attr)
+		for _, s := range ps {
+			bytes += int64(len(s.Data))
+		}
+		sets = append(sets, ps...)
+	})
+	if err != nil {
+		return err
+	}
+	h.m.BytesOut += bytes
+
+	newFile := !h.created[fname]
+	if newFile {
+		h.created[fname] = true
+		h.m.FilesCreated++
+	}
+	job := writeJob{fname: fname, newFile: newFile, sets: sets, time: tm, step: step}
+
+	if !h.cfg.Threaded {
+		return h.writeFile(h.clock, h.fs, job)
+	}
+
+	// T-Rochdf: block until the previous snapshot is fully written, then
+	// buffer locally and return. PaneIOSets already copied the data; the
+	// buffering bandwidth charge models that copy on simulated platforms.
+	if h.lastFile != "" && fname != h.lastFile {
+		if err := h.drain(); err != nil {
+			return err
+		}
+	}
+	h.lastFile = fname
+	if h.cfg.BufferBW > 0 {
+		h.clock.Compute(float64(bytes) / h.cfg.BufferBW)
+	}
+	h.jobs.Put(h.clock, job)
+	h.outstanding++
+	return nil
+}
+
+// drain waits until the I/O thread has completed all outstanding jobs.
+func (h *Rochdf) drain() error {
+	for h.outstanding > 0 {
+		v, ok := h.done.Get(h.clock)
+		if !ok {
+			return fmt.Errorf("rochdf: I/O thread exited with %d jobs outstanding", h.outstanding)
+		}
+		h.outstanding--
+		if err, isErr := v.(error); isErr {
+			return err
+		}
+	}
+	return nil
+}
+
+// ioThread is T-Rochdf's persistent background writer.
+func (h *Rochdf) ioThread(tc rt.TaskCtx) {
+	for {
+		v, ok := h.jobs.Get(tc.Clock())
+		if !ok {
+			return
+		}
+		job := v.(writeJob)
+		if err := h.writeFile(tc.Clock(), tc.FS(), job); err != nil {
+			h.done.Put(tc.Clock(), err)
+			continue
+		}
+		h.done.Put(tc.Clock(), nil)
+	}
+}
+
+// writeFile writes one job's datasets into the rank's snapshot file,
+// creating or appending as needed, and closes the file so its directory is
+// always valid on disk.
+func (h *Rochdf) writeFile(clock rt.Clock, fs rt.FS, job writeJob) error {
+	var wr *hdf.Writer
+	var err error
+	if job.newFile {
+		wr, err = hdf.Create(fs, job.fname, clock, h.cfg.Profile)
+		if err == nil {
+			err = wr.CreateDataset("_meta", hdf.U8, []int64{0},
+				[]hdf.Attr{
+					hdf.F64Attr("time", job.time),
+					hdf.I32Attr("step", int32(job.step)),
+					hdf.I32Attr("rank", int32(h.rank)),
+				}, nil)
+		}
+	} else {
+		wr, err = hdf.OpenAppend(fs, job.fname, clock, h.cfg.Profile)
+	}
+	if err != nil {
+		return fmt.Errorf("rochdf: %s: %w", job.fname, err)
+	}
+	wr.Compress = h.cfg.Compress
+	for _, s := range job.sets {
+		if err := wr.CreateDataset(s.Name, s.Type, s.Dims, s.Attrs, s.Data); err != nil {
+			wr.Close()
+			return err
+		}
+	}
+	return wr.Close()
+}
+
+// ReadAttribute implements roccom.IOService: restart. The window's
+// registered pane IDs define which blocks this process wants; their
+// contents (mesh and attributes for "all", a single attribute otherwise)
+// are replaced from this rank's snapshot file, so individual-I/O restart
+// requires the same process count that wrote the snapshot.
+func (h *Rochdf) ReadAttribute(file string, w *roccom.Window, attr string) error {
+	t0 := h.clock.Now()
+	defer func() {
+		h.m.VisibleRead += h.clock.Now() - t0
+		h.m.ReadCalls++
+	}()
+	if h.cfg.Threaded {
+		if err := h.drain(); err != nil {
+			return err
+		}
+	}
+	fname := h.fileName(file)
+	r, err := hdf.Open(h.fs, fname, h.clock, h.cfg.Profile)
+	if err != nil {
+		return fmt.Errorf("rochdf: restart: %w", err)
+	}
+	defer r.Close()
+
+	for _, id := range w.PaneIDs() {
+		prefix := roccom.PanePrefix(w.Name, id)
+		dss := r.LookupPrefix(prefix)
+		if len(dss) == 0 {
+			return fmt.Errorf("rochdf: restart: pane %d not in %s (restart needs the writing process count)", id, fname)
+		}
+		if attr == "all" {
+			sets := make([]roccom.IOSet, 0, len(dss))
+			for _, d := range dss {
+				data, err := r.ReadData(d)
+				if err != nil {
+					return err
+				}
+				sets = append(sets, roccom.IOSet{Name: d.Name, Type: d.Type, Dims: d.Dims, Attrs: d.Attrs, Data: data})
+			}
+			if err := w.DeletePane(id); err != nil {
+				return err
+			}
+			if _, err := roccom.RestorePane(w, id, sets); err != nil {
+				return err
+			}
+			continue
+		}
+		ds, ok := r.Lookup(prefix + attr)
+		if !ok {
+			return fmt.Errorf("rochdf: restart: %s%s not in %s", prefix, attr, fname)
+		}
+		data, err := r.ReadData(ds)
+		if err != nil {
+			return err
+		}
+		p, _ := w.Pane(id)
+		a, ok := p.Array(attr)
+		if !ok {
+			return fmt.Errorf("rochdf: window %q has no attribute %q", w.Name, attr)
+		}
+		if err := a.SetBytes(data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sync implements roccom.IOService: it blocks until all buffered output
+// has reached the filesystem. For the non-threaded variant it is a no-op
+// (writes are synchronous).
+func (h *Rochdf) Sync() error {
+	t0 := h.clock.Now()
+	defer func() { h.m.SyncWait += h.clock.Now() - t0 }()
+	if !h.cfg.Threaded {
+		return nil
+	}
+	return h.drain()
+}
+
+// Close drains outstanding output and stops the I/O thread. The service
+// is unusable afterwards.
+func (h *Rochdf) Close() error {
+	if h.closed {
+		return nil
+	}
+	var err error
+	if h.cfg.Threaded {
+		err = h.drain()
+		h.jobs.Close()
+	}
+	h.closed = true
+	return err
+}
+
+// Module returns a roccom.Module that exposes this service as the
+// interchangeable I/O module named at load time (e.g. "RochdfIO").
+func (h *Rochdf) Module() roccom.Module { return &module{svc: h} }
+
+type module struct {
+	svc *Rochdf
+}
+
+func (m *module) Load(rc *roccom.Roccom, name string) error {
+	if _, err := rc.NewWindow(name); err != nil {
+		return err
+	}
+	return roccom.RegisterIOService(rc, name, m.svc)
+}
+
+func (m *module) Unload(rc *roccom.Roccom, name string) error {
+	if err := m.svc.Close(); err != nil {
+		return err
+	}
+	return rc.DeleteWindow(name)
+}

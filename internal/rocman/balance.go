@@ -1,0 +1,133 @@
+package rocman
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"genxio/internal/mpi"
+	"genxio/internal/roccom"
+)
+
+// Rebalance redistributes a window's panes so every rank's node count
+// approaches the mean — the dynamic load balancing the paper credits to
+// the Charm++ runtime, which in turn balances Rocpanda's server loads
+// automatically (Section 4.1). It is collective over comm: rank 0 gathers
+// the pane inventory, plans at most maxMoves migrations greedily (move the
+// heaviest rank's best-fitting pane to the lightest rank), broadcasts the
+// plan, and all ranks execute it with MigratePane. It returns the number
+// of migrations performed.
+func Rebalance(comm mpi.Comm, w *roccom.Window, maxMoves int) (int, error) {
+	if maxMoves <= 0 {
+		maxMoves = 4
+	}
+	// Inventory: (paneID, nodes) pairs per rank.
+	var inv []byte
+	ids := w.PaneIDs()
+	inv = binary.LittleEndian.AppendUint32(inv, uint32(len(ids)))
+	for _, id := range ids {
+		p, _ := w.Pane(id)
+		inv = binary.LittleEndian.AppendUint32(inv, uint32(id))
+		inv = binary.LittleEndian.AppendUint32(inv, uint32(p.Block.NumNodes()))
+	}
+	rows := comm.Gather(0, inv)
+
+	var plan []byte
+	var planErr error
+	if comm.Rank() == 0 {
+		// On a planning failure still broadcast an empty plan: the
+		// peers are already waiting in Bcast, and returning early here
+		// would strand them.
+		moves, err := planMoves(rows, maxMoves)
+		if err != nil {
+			planErr = err
+			moves = nil
+		}
+		plan = binary.LittleEndian.AppendUint32(nil, uint32(len(moves)))
+		for _, m := range moves {
+			plan = binary.LittleEndian.AppendUint32(plan, uint32(m.pane))
+			plan = binary.LittleEndian.AppendUint32(plan, uint32(m.src))
+			plan = binary.LittleEndian.AppendUint32(plan, uint32(m.dst))
+		}
+	}
+	plan = comm.Bcast(0, plan)
+	if planErr != nil {
+		return 0, planErr
+	}
+	n := int(binary.LittleEndian.Uint32(plan))
+	for i := 0; i < n; i++ {
+		pane := int(binary.LittleEndian.Uint32(plan[4+12*i:]))
+		src := int(binary.LittleEndian.Uint32(plan[8+12*i:]))
+		dst := int(binary.LittleEndian.Uint32(plan[12+12*i:]))
+		if err := MigratePane(comm, w, pane, src, dst); err != nil {
+			return i, err
+		}
+	}
+	return n, nil
+}
+
+type move struct{ pane, src, dst int }
+
+// planMoves computes the greedy migration plan from the gathered pane
+// inventories.
+func planMoves(rows [][]byte, maxMoves int) ([]move, error) {
+	type pane struct{ id, nodes int }
+	perRank := make([][]pane, len(rows))
+	load := make([]int, len(rows))
+	var total int
+	for r, row := range rows {
+		if len(row) < 4 {
+			return nil, fmt.Errorf("rocman: rebalance: short inventory from rank %d", r)
+		}
+		n := int(binary.LittleEndian.Uint32(row))
+		for i := 0; i < n; i++ {
+			id := int(binary.LittleEndian.Uint32(row[4+8*i:]))
+			nodes := int(binary.LittleEndian.Uint32(row[8+8*i:]))
+			perRank[r] = append(perRank[r], pane{id: id, nodes: nodes})
+			load[r] += nodes
+			total += nodes
+		}
+	}
+	mean := float64(total) / float64(len(rows))
+
+	var moves []move
+	for len(moves) < maxMoves {
+		hi, lo := 0, 0
+		for r := range load {
+			if load[r] > load[hi] {
+				hi = r
+			}
+			if load[r] < load[lo] {
+				lo = r
+			}
+		}
+		// Stop when balanced within 10% of the mean, or when the
+		// heaviest rank has a single pane (indivisible).
+		if hi == lo || float64(load[hi]-load[lo]) <= 0.1*mean || len(perRank[hi]) <= 1 {
+			break
+		}
+		// Pick the pane whose move best narrows the gap without
+		// overshooting into a reversed imbalance.
+		gap := load[hi] - load[lo]
+		best := -1
+		for i, p := range perRank[hi] {
+			if p.nodes >= gap { // moving it would flip the imbalance
+				continue
+			}
+			if best < 0 || p.nodes > perRank[hi][best].nodes {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		p := perRank[hi][best]
+		moves = append(moves, move{pane: p.id, src: hi, dst: lo})
+		perRank[hi] = append(perRank[hi][:best], perRank[hi][best+1:]...)
+		perRank[lo] = append(perRank[lo], pane{id: p.id, nodes: p.nodes})
+		sort.Slice(perRank[lo], func(a, b int) bool { return perRank[lo][a].id < perRank[lo][b].id })
+		load[hi] -= p.nodes
+		load[lo] += p.nodes
+	}
+	return moves, nil
+}

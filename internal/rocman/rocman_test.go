@@ -1,0 +1,489 @@
+package rocman
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"genxio/internal/cluster"
+	"genxio/internal/hdf"
+	"genxio/internal/mesh"
+	"genxio/internal/mpi"
+	"genxio/internal/roccom"
+	"genxio/internal/rocpanda"
+	"genxio/internal/rt"
+	"genxio/internal/trace"
+	"genxio/internal/workload"
+)
+
+// tinySpec returns a small, fast workload: 8 blocks, 12 steps, snapshots
+// every 4 steps.
+func tinySpec() workload.Spec {
+	return workload.Spec{
+		Name: "tiny",
+		Cylinder: mesh.CylinderSpec{
+			RInner: 0.1, ROuter: 0.4, Length: 1,
+			BR: 1, BT: 8, BZ: 1, NodesPerBlock: 80, Spread: 0.3,
+		},
+		Steps: 12, SnapshotEvery: 4, Seed: 7,
+		FluidCostPerNode: 1e-7, SolidCostPerNode: 1e-7,
+		FaceCostPerNode: 1e-8, BurnCostPerPane: 1e-7,
+	}
+}
+
+// runReal runs cfg on the goroutine backend over a fresh MemFS and
+// returns (report, fs).
+func runReal(t *testing.T, n int, cfg Config) (*Report, *rt.MemFS) {
+	t.Helper()
+	fs := rt.NewMemFS()
+	var rep *Report
+	world := mpi.NewChanWorld(fs, 1)
+	err := world.Run(n, func(ctx mpi.Ctx) error {
+		r, err := Run(ctx, cfg)
+		if err != nil {
+			return err
+		}
+		if r != nil {
+			rep = r
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep, fs
+}
+
+func baseCfg(io IOKind) Config {
+	return Config{
+		Workload: tinySpec(),
+		IO:       io,
+		Profile:  hdf.NullProfile(),
+		Rocpanda: rocpanda.Config{NumServers: 1, ActiveBuffering: true},
+	}
+}
+
+func TestIntegratedRunAllIOModules(t *testing.T) {
+	for _, io := range []IOKind{IORochdf, IOTRochdf, IORocpanda} {
+		t.Run(string(io), func(t *testing.T) {
+			n := 3
+			if io == IORocpanda {
+				n = 4 // 3 clients + 1 server
+			}
+			rep, fs := runReal(t, n, baseCfg(io))
+			if rep == nil {
+				t.Fatal("no report from client rank 0")
+			}
+			if rep.Steps != 12 || rep.Snapshots != 4 {
+				t.Fatalf("steps %d snapshots %d", rep.Steps, rep.Snapshots)
+			}
+			if rep.NumClients != 3 {
+				t.Fatalf("clients %d", rep.NumClients)
+			}
+			if rep.BytesOut == 0 || rep.ComputeTime < 0 {
+				t.Fatalf("report %+v", rep)
+			}
+			// The right number of snapshot files exist.
+			names, _ := fs.List("out/")
+			wantFiles := 4 * 3 // 4 snapshots x 3 procs (individual I/O)
+			if io == IORocpanda {
+				wantFiles = 4 * 1 // 4 snapshots x 1 server
+			}
+			if len(names) != wantFiles {
+				t.Fatalf("%s: %d files %v", io, len(names), names)
+			}
+			// Every file is a complete, readable RHDF container with
+			// both windows.
+			for _, name := range names {
+				r, err := hdf.Open(fs, name, rt.NewWallClock(), hdf.NullProfile())
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				if r.NumDatasets() == 0 {
+					t.Fatalf("%s empty", name)
+				}
+				r.Close()
+			}
+		})
+	}
+}
+
+func TestSnapshotContentIdenticalAcrossIOModules(t *testing.T) {
+	// The three I/O modules must persist the same physics: compare the
+	// full set of datasets of the last snapshot across modules.
+	collect := func(io IOKind) map[string][]byte {
+		_, fs := runReal(t, 4, baseCfg(io))
+		names, _ := fs.List("out/snap000012")
+		if len(names) == 0 {
+			t.Fatalf("%s: no final snapshot", io)
+		}
+		data := make(map[string][]byte)
+		for _, name := range names {
+			r, err := hdf.Open(fs, name, rt.NewWallClock(), hdf.NullProfile())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, d := range r.Datasets() {
+				if d.Name == "_meta" {
+					continue
+				}
+				raw, err := r.ReadData(d)
+				if err != nil {
+					t.Fatal(err)
+				}
+				data[d.Name] = raw
+			}
+			r.Close()
+		}
+		return data
+	}
+	ref := collect(IORochdf)
+	if len(ref) == 0 {
+		t.Fatal("no datasets collected")
+	}
+	for _, io := range []IOKind{IOTRochdf, IORocpanda} {
+		got := collect(io)
+		if len(got) != len(ref) {
+			t.Fatalf("%s has %d datasets, rochdf has %d", io, len(got), len(ref))
+		}
+		for name, want := range ref {
+			g, ok := got[name]
+			if !ok {
+				t.Fatalf("%s missing dataset %s", io, name)
+			}
+			if string(g) != string(want) {
+				t.Fatalf("%s dataset %s differs", io, name)
+			}
+		}
+	}
+}
+
+func TestRestartContinuesIdentically(t *testing.T) {
+	// Golden: a straight 12-step run. Candidate: 8 steps, checkpoint,
+	// fresh world restarts from step-8 snapshot and runs 4 more steps.
+	// Physics state that lives in window attributes must match exactly.
+	for _, io := range []IOKind{IORochdf, IORocpanda} {
+		t.Run(string(io), func(t *testing.T) {
+			n := 3
+			if io == IORocpanda {
+				n = 4
+			}
+
+			cfgFull := baseCfg(io)
+			cfgFull.OutputDir = "full"
+			_, fsFull := runReal(t, n, cfgFull)
+
+			cfgA := baseCfg(io)
+			cfgA.Workload.Steps = 8
+			cfgA.OutputDir = "partA"
+			fsShared := rt.NewMemFS()
+			world := mpi.NewChanWorld(fsShared, 1)
+			if err := world.Run(n, func(ctx mpi.Ctx) error {
+				_, err := Run(ctx, cfgA)
+				return err
+			}); err != nil {
+				t.Fatal(err)
+			}
+
+			cfgB := baseCfg(io)
+			cfgB.Workload.Steps = 4
+			cfgB.Workload.SnapshotEvery = 4
+			cfgB.OutputDir = "partB"
+			cfgB.RestartFrom = "partA/snap000008"
+			world = mpi.NewChanWorld(fsShared, 1)
+			if err := world.Run(n, func(ctx mpi.Ctx) error {
+				_, err := Run(ctx, cfgB)
+				return err
+			}); err != nil {
+				t.Fatal(err)
+			}
+
+			// Compare full/snap000012 vs partB/snap000004.
+			read := func(fs rt.FS, prefix string) map[string]string {
+				names, _ := fs.List(prefix)
+				if len(names) == 0 {
+					t.Fatalf("no files under %s", prefix)
+				}
+				out := make(map[string]string)
+				for _, name := range names {
+					r, err := hdf.Open(fs, name, rt.NewWallClock(), hdf.NullProfile())
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, d := range r.Datasets() {
+						if d.Name == "_meta" {
+							continue
+						}
+						raw, _ := r.ReadData(d)
+						out[d.Name] = string(raw)
+					}
+					r.Close()
+				}
+				return out
+			}
+			want := read(fsFull, "full/snap000012")
+			got := read(fsShared, "partB/snap000004")
+			if len(got) != len(want) {
+				t.Fatalf("dataset counts differ: %d vs %d", len(got), len(want))
+			}
+			mismatches := 0
+			for name, w := range want {
+				if got[name] != w {
+					mismatches++
+				}
+			}
+			if mismatches > 0 {
+				t.Fatalf("%d of %d datasets differ after restart", mismatches, len(want))
+			}
+		})
+	}
+}
+
+func TestRefinementChangesDistributionTransparently(t *testing.T) {
+	cfg := baseCfg(IORocpanda)
+	cfg.FluidOnly = true
+	cfg.RefineEvery = 3
+	rep, fs := runReal(t, 4, cfg)
+	if rep == nil {
+		t.Fatal("no report")
+	}
+	// After 12 steps with refinement every 3, each client split 4 times:
+	// the final snapshot must contain more panes than the initial one.
+	count := func(prefix string) int {
+		names, _ := fs.List(prefix)
+		panes := map[string]bool{}
+		for _, name := range names {
+			r, err := hdf.Open(fs, name, rt.NewWallClock(), hdf.NullProfile())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, dn := range r.Names() {
+				if win, id, _, ok := roccom.ParseDatasetName(dn); ok {
+					panes[fmt.Sprintf("%s/%d", win, id)] = true
+				}
+			}
+			r.Close()
+		}
+		return len(panes)
+	}
+	first := count("out/snap000000")
+	last := count("out/snap000012")
+	if last <= first {
+		t.Fatalf("refinement did not grow pane count: %d -> %d", first, last)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	fs := rt.NewMemFS()
+	world := mpi.NewChanWorld(fs, 1)
+	err := world.Run(2, func(ctx mpi.Ctx) error {
+		cfg := baseCfg(IORochdf)
+		cfg.RefineEvery = 2 // without FluidOnly
+		if _, err := Run(ctx, cfg); err == nil {
+			return fmt.Errorf("refinement without FluidOnly accepted")
+		}
+		cfg = baseCfg("bogus")
+		if _, err := Run(ctx, cfg); err == nil {
+			return fmt.Errorf("bogus IO module accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunOnSimulatedPlatform(t *testing.T) {
+	// Smoke-test the full integrated stack on the Turing model: Rocpanda
+	// with one server, 8+1 ranks, visible write far below compute.
+	plat := cluster.Turing()
+	w := cluster.NewWorld(plat, 5)
+	var rep *Report
+	err := w.Run(9, func(ctx mpi.Ctx) error {
+		cfg := baseCfg(IORocpanda)
+		cfg.BufferBW = plat.MemcpyBW
+		cfg.Profile = hdf.HDF4Profile()
+		cfg.StrideRealWork = 3
+		cfg.Workload.FluidCostPerNode = 1e-5
+		cfg.Workload.SolidCostPerNode = 1e-5
+		r, err := Run(ctx, cfg)
+		if r != nil {
+			rep = r
+		}
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep == nil {
+		t.Fatal("no report")
+	}
+	if rep.ComputeTime <= 0 {
+		t.Fatalf("no compute time charged: %+v", rep)
+	}
+	if rep.VisibleWrite >= rep.ComputeTime {
+		t.Fatalf("visible write %.3f not hidden vs compute %.3f", rep.VisibleWrite, rep.ComputeTime)
+	}
+	if w.FSModel().BytesWritten() == 0 {
+		t.Fatal("nothing reached the simulated filesystem")
+	}
+}
+
+func TestSolverSelection(t *testing.T) {
+	// GENx's plug-in physics: rocflu and rocsolid must drive the same
+	// windows through the same I/O path.
+	cfg := baseCfg(IORocpanda)
+	cfg.FluidSolver = "rocflu"
+	cfg.SolidSolver = "rocsolid"
+	rep, fs := runReal(t, 4, cfg)
+	if rep == nil || rep.Snapshots != 4 {
+		t.Fatalf("report %+v", rep)
+	}
+	names, _ := fs.List("out/snap000012")
+	if len(names) != 1 {
+		t.Fatalf("files %v", names)
+	}
+	r, err := hdf.Open(fs, names[0], rt.NewWallClock(), hdf.NullProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	var fluidConn bool
+	for _, n := range r.Names() {
+		if _, _, attr, ok := roccom.ParseDatasetName(n); ok && attr == "_conn" && len(n) > 7 && n[:7] == "/fluid/" {
+			fluidConn = true
+		}
+	}
+	if !fluidConn {
+		t.Fatal("rocflu fluid panes should be unstructured (carry connectivity)")
+	}
+
+	bad := baseCfg(IORochdf)
+	bad.FluidSolver = "nope"
+	fs2 := rt.NewMemFS()
+	world := mpi.NewChanWorld(fs2, 1)
+	if err := world.Run(2, func(ctx mpi.Ctx) error {
+		_, err := Run(ctx, bad)
+		if err == nil {
+			return fmt.Errorf("bogus fluid solver accepted")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	bad2 := baseCfg(IORochdf)
+	bad2.SolidSolver = "nope"
+	world = mpi.NewChanWorld(rt.NewMemFS(), 1)
+	if err := world.Run(2, func(ctx mpi.Ctx) error {
+		_, err := Run(ctx, bad2)
+		if err == nil {
+			return fmt.Errorf("bogus solid solver accepted")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompressedSnapshots(t *testing.T) {
+	// Compression must shrink the files and leave the physics and
+	// restart path untouched.
+	for _, io := range []IOKind{IORochdf, IORocpanda} {
+		t.Run(string(io), func(t *testing.T) {
+			plain := baseCfg(io)
+			_, fsPlain := runReal(t, 4, plain)
+			comp := baseCfg(io)
+			comp.Compress = true
+			_, fsComp := runReal(t, 4, comp)
+
+			size := func(fs rt.FS) int64 {
+				names, _ := fs.List("out/snap000012")
+				var total int64
+				for _, n := range names {
+					sz, _ := fs.Stat(n)
+					total += sz
+				}
+				return total
+			}
+			szPlain, szComp := size(fsPlain), size(fsComp)
+			if szComp >= szPlain {
+				t.Fatalf("compressed snapshot %d B not smaller than plain %d B", szComp, szPlain)
+			}
+			// Logical content identical.
+			read := func(fs rt.FS) map[string]string {
+				names, _ := fs.List("out/snap000012")
+				out := map[string]string{}
+				for _, name := range names {
+					r, err := hdf.Open(fs, name, rt.NewWallClock(), hdf.NullProfile())
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, d := range r.Datasets() {
+						if d.Name == "_meta" {
+							continue
+						}
+						raw, err := r.ReadData(d)
+						if err != nil {
+							t.Fatal(err)
+						}
+						out[d.Name] = string(raw)
+					}
+					r.Close()
+				}
+				return out
+			}
+			want, got := read(fsPlain), read(fsComp)
+			if len(want) != len(got) {
+				t.Fatalf("dataset counts differ: %d vs %d", len(want), len(got))
+			}
+			for k, v := range want {
+				if got[k] != v {
+					t.Fatalf("dataset %s differs under compression", k)
+				}
+			}
+		})
+	}
+}
+
+func TestTraceTimelineOnSimPlatform(t *testing.T) {
+	// The trace must show the paper's overlap picture: long compute
+	// spans, short write spans, and a final sync.
+	plat := cluster.Turing()
+	rec := trace.New()
+	cfg := baseCfg(IORocpanda)
+	cfg.Trace = rec
+	cfg.Profile = hdf.HDF4Profile()
+	cfg.BufferBW = plat.MemcpyBW
+	cfg.StrideRealWork = 4
+	cfg.Workload.FluidCostPerNode = 1e-5
+	cfg.Workload.SolidCostPerNode = 1e-5
+	w := cluster.NewWorld(plat, 9)
+	if err := w.Run(4, func(ctx mpi.Ctx) error {
+		_, err := Run(ctx, cfg)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	totals := rec.Totals()
+	if len(totals) != 3 {
+		t.Fatalf("ranks traced: %d, want 3 clients", len(totals))
+	}
+	for rank, m := range totals {
+		if m[trace.PhaseCompute] <= 0 || m[trace.PhaseWrite] <= 0 {
+			t.Fatalf("rank %d missing phases: %v", rank, m)
+		}
+		if m[trace.PhaseWrite] >= m[trace.PhaseCompute] {
+			t.Fatalf("rank %d write %v not hidden vs compute %v", rank, m[trace.PhaseWrite], m[trace.PhaseCompute])
+		}
+	}
+	var b strings.Builder
+	if err := rec.Timeline(&b, 60); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"rank   0", "=", "compute  max over ranks"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("timeline missing %q:\n%s", want, out)
+		}
+	}
+}

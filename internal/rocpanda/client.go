@@ -1,0 +1,244 @@
+package rocpanda
+
+import (
+	"fmt"
+
+	"genxio/internal/mpi"
+	"genxio/internal/roccom"
+)
+
+// Metrics accumulates a client's application-visible I/O costs.
+type Metrics struct {
+	VisibleWrite float64 // time inside write_attribute (send + buffer ack)
+	VisibleRead  float64 // time inside read_attribute
+	SyncWait     float64 // time inside sync
+	WriteCalls   int
+	ReadCalls    int
+	BytesOut     int64 // payload bytes shipped to the server
+}
+
+// Client is a compute process's handle to the Rocpanda service. It
+// implements roccom.IOService.
+type Client struct {
+	ctx        mpi.Ctx
+	world      mpi.Comm // world communicator (servers reachable here)
+	comm       mpi.Comm // client communicator (the application's world)
+	myServer   int      // world rank of this client's server
+	srvRanks   []int    // world ranks of all servers
+	numServers int
+	blockOH    float64 // per-block client-side protocol cost
+	shutdown   bool
+
+	m Metrics
+}
+
+// Comm returns the client communicator that replaces MPI_COMM_WORLD for
+// the application, as in the paper's initialization scheme.
+func (c *Client) Comm() mpi.Comm { return c.comm }
+
+// NumServers returns the number of dedicated I/O servers.
+func (c *Client) NumServers() int { return c.numServers }
+
+// Metrics returns the accumulated client-visible costs.
+func (c *Client) Metrics() Metrics { return c.m }
+
+// WriteAttribute implements roccom.IOService: a collective write. Each
+// client ships its panes to its server and returns as soon as the server
+// has buffered them (active buffering) or written them (write-through).
+func (c *Client) WriteAttribute(file string, w *roccom.Window, attr string, tm float64, step int) error {
+	if c.shutdown {
+		return fmt.Errorf("rocpanda: write after shutdown")
+	}
+	t0 := c.ctx.Clock().Now()
+	defer func() {
+		c.m.VisibleWrite += c.ctx.Clock().Now() - t0
+		c.m.WriteCalls++
+	}()
+
+	ids := w.PaneIDs()
+	payloads := make([][]byte, 0, len(ids))
+	var bytes int64
+	for _, id := range ids {
+		p, _ := w.Pane(id)
+		sets, err := roccom.PaneIOSets(w, p, attr)
+		if err != nil {
+			return err
+		}
+		enc := roccom.EncodeIOSets(sets)
+		bytes += int64(len(enc))
+		payloads = append(payloads, enc)
+	}
+	c.m.BytesOut += bytes
+
+	hdr := writeHdr{
+		File: file, Window: w.Name, Attr: attr,
+		Time: tm, Step: int32(step),
+		NBlocks: int32(len(payloads)), Bytes: bytes,
+	}
+	sendT0 := c.ctx.Clock().Now()
+	c.world.Send(c.myServer, tagWriteHdr, encodeWriteHdr(hdr))
+	for _, pl := range payloads {
+		if c.blockOH > 0 {
+			c.ctx.Clock().Compute(c.blockOH)
+		}
+		c.world.Send(c.myServer, tagWriteBlock, pl)
+	}
+	sendT1 := c.ctx.Clock().Now()
+	// The ack arrives when the server has safely buffered (or written)
+	// everything; our buffers are reusable now either way.
+	if _, st := c.world.Recv(c.myServer, tagWriteAck); st.Size != 0 {
+		return fmt.Errorf("rocpanda: unexpected ack payload")
+	}
+	if debugWrites && c.comm.Rank() < 2 {
+		fmt.Printf("DEBUG cl%d write %s/%s: enc=%.3f send=%.3f ack=%.3f\n",
+			c.comm.Rank(), file, w.Name, sendT0-t0, sendT1-sendT0, c.ctx.Clock().Now()-sendT1)
+	}
+	return nil
+}
+
+// ReadAttribute implements roccom.IOService: collective restart. The
+// window's registered pane IDs define this client's wanted blocks; every
+// client sends its list to every server, and servers ship back the blocks
+// found while scanning their round-robin share of the snapshot files.
+func (c *Client) ReadAttribute(file string, w *roccom.Window, attr string) error {
+	if c.shutdown {
+		return fmt.Errorf("rocpanda: read after shutdown")
+	}
+	t0 := c.ctx.Clock().Now()
+	defer func() {
+		c.m.VisibleRead += c.ctx.Clock().Now() - t0
+		c.m.ReadCalls++
+	}()
+
+	ids := w.PaneIDs()
+	req := readReq{File: file, Window: w.Name, Attr: attr, PaneIDs: make([]int32, len(ids))}
+	for i, id := range ids {
+		req.PaneIDs[i] = int32(id)
+	}
+	enc := encodeReadReq(req)
+	for _, sr := range c.srvRanks {
+		c.world.Send(sr, tagReadReq, enc)
+	}
+
+	want := make(map[int]bool, len(ids))
+	for _, id := range ids {
+		want[id] = true
+	}
+	got := 0
+	dones := 0
+	for dones < c.numServers {
+		data, st := c.world.Recv(mpi.AnySource, mpi.AnyTag)
+		switch st.Tag {
+		case tagReadDone:
+			dones++
+		case tagReadBlock:
+			sets, err := roccom.DecodeIOSets(data)
+			if err != nil {
+				return err
+			}
+			if len(sets) == 0 {
+				return fmt.Errorf("rocpanda: empty restart block")
+			}
+			_, paneID, _, ok := roccom.ParseDatasetName(sets[0].Name)
+			if !ok || !want[paneID] {
+				return fmt.Errorf("rocpanda: unsolicited restart block %q", sets[0].Name)
+			}
+			if err := applyRestart(w, paneID, attr, sets); err != nil {
+				return err
+			}
+			got++
+		default:
+			return fmt.Errorf("rocpanda: unexpected message tag %d during restart", st.Tag)
+		}
+	}
+	if got != len(ids) {
+		return fmt.Errorf("rocpanda: restart recovered %d of %d panes of window %q from %q",
+			got, len(ids), w.Name, file)
+	}
+	return nil
+}
+
+// applyRestart installs one pane's restart data into the window: full
+// replacement for "all", single-attribute fill otherwise.
+func applyRestart(w *roccom.Window, paneID int, attr string, sets []roccom.IOSet) error {
+	if attr == "all" {
+		if _, ok := w.Pane(paneID); ok {
+			if err := w.DeletePane(paneID); err != nil {
+				return err
+			}
+		}
+		_, err := roccom.RestorePane(w, paneID, sets)
+		return err
+	}
+	p, ok := w.Pane(paneID)
+	if !ok {
+		return fmt.Errorf("rocpanda: restart for unknown pane %d", paneID)
+	}
+	a, ok := p.Array(attr)
+	if !ok {
+		return fmt.Errorf("rocpanda: window %q has no attribute %q", w.Name, attr)
+	}
+	for _, s := range sets {
+		_, _, name, _ := roccom.ParseDatasetName(s.Name)
+		if name == attr {
+			return a.SetBytes(s.Data)
+		}
+	}
+	return fmt.Errorf("rocpanda: attribute %q missing from restart block of pane %d", attr, paneID)
+}
+
+// Sync implements roccom.IOService: it blocks until this client's server
+// has drained all buffered output to the filesystem and closed the files.
+func (c *Client) Sync() error {
+	if c.shutdown {
+		return fmt.Errorf("rocpanda: sync after shutdown")
+	}
+	t0 := c.ctx.Clock().Now()
+	defer func() { c.m.SyncWait += c.ctx.Clock().Now() - t0 }()
+	// Sync is collective: align the clients first, so no server starts a
+	// long synchronous drain while a peer's collective write is still
+	// being ingested (which would charge the drain to that write's
+	// visible time).
+	c.comm.Barrier()
+	c.world.Send(c.myServer, tagSync, nil)
+	c.world.Recv(c.myServer, tagSyncAck)
+	return nil
+}
+
+// Shutdown is collective over the clients: it drains the servers and
+// releases them from their service loops. The client communicator remains
+// usable; further I/O calls fail.
+func (c *Client) Shutdown() error {
+	if c.shutdown {
+		return nil
+	}
+	c.shutdown = true
+	// Collective: no client may trigger its server's final drain while a
+	// peer is still mid-operation.
+	c.comm.Barrier()
+	c.world.Send(c.myServer, tagShutdown, nil)
+	c.world.Recv(c.myServer, tagShutdownAck)
+	return nil
+}
+
+// Module returns a roccom.Module exposing this client as the
+// interchangeable I/O service named at load time (e.g. "RocpandaIO").
+func (c *Client) Module() roccom.Module { return &module{cl: c} }
+
+type module struct {
+	cl *Client
+}
+
+func (m *module) Load(rc *roccom.Roccom, name string) error {
+	if _, err := rc.NewWindow(name); err != nil {
+		return err
+	}
+	return roccom.RegisterIOService(rc, name, m.cl)
+}
+
+func (m *module) Unload(rc *roccom.Roccom, name string) error {
+	if err := m.cl.Shutdown(); err != nil {
+		return err
+	}
+	return rc.DeleteWindow(name)
+}

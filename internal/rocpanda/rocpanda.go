@@ -1,0 +1,194 @@
+// Package rocpanda implements the paper's client-server collective I/O
+// library (a special edition of the Panda parallel I/O library adapted to
+// GENx): some processors are dedicated as I/O servers, and the compute
+// clients ship whole data blocks — irregular, per-client collections of
+// datasets — to their server instead of defining any global data
+// distribution. The design follows Section 4.1 and Figure 2:
+//
+//   - Initialization splits MPI_COMM_WORLD into a client communicator
+//     (returned to the application, which uses it for everything) and the
+//     server ranks, which enter the server routine and never return to the
+//     application. Servers are placed on distinct SMP nodes by spreading
+//     them across the global rank space (ranks 0, T/m, 2T/m, ...).
+//
+//   - Collective write: every client sends a header plus its data blocks
+//     to its assigned server; with active buffering (Section 6.1) the
+//     server only buffers them (memory-speed) and acknowledges, so the
+//     client-visible cost is the transfer, not the file I/O. Servers
+//     drain buffers to scientific-format files while clients compute,
+//     checking for new requests between block writes (non-blocking probe)
+//     and blocking in probe when idle — leaving their CPU to the OS.
+//     If the buffer capacity is exceeded the server drains synchronously
+//     to make room, which delays the acknowledgement (graceful overflow).
+//
+//   - Collective read (restart): every client sends its wanted block list
+//     to every server; snapshot files are assigned to servers round-robin;
+//     each server scans its files, finds requested blocks, and ships them
+//     to the owning clients — so a run may restart with a different
+//     number of servers than wrote the files.
+package rocpanda
+
+import (
+	"fmt"
+
+	"genxio/internal/hdf"
+	"genxio/internal/mpi"
+)
+
+// Placement controls where the dedicated servers sit in the global rank
+// space.
+type Placement int
+
+// Placements.
+const (
+	// Spread places servers at global ranks 0, T/m, 2T/m, ... so each
+	// lands on a different SMP node (the paper's choice).
+	Spread Placement = iota
+	// Packed places servers on the last m global ranks (an ablation:
+	// servers share nodes, clients saturate the rest).
+	Packed
+)
+
+// Config configures Rocpanda initialization. Exactly one of NumServers or
+// ClientServerRatio must be positive.
+type Config struct {
+	// NumServers is the number of dedicated I/O server processes.
+	NumServers int
+	// ClientServerRatio derives the server count as
+	// total/(ratio+1), at least 1 (the paper typically uses >= 8:1).
+	ClientServerRatio int
+	// Placement selects server placement (default Spread).
+	Placement Placement
+	// Profile is the scientific-library cost model for server-side file
+	// access (HDF4 in the paper).
+	Profile hdf.CostProfile
+	// ActiveBuffering enables the paper's overlap scheme. When false the
+	// server writes each block to disk before acknowledging
+	// (write-through; the ablation baseline).
+	ActiveBuffering bool
+	// BufferCapacity bounds the server-side buffer in bytes; 0 means
+	// unlimited. Overflow triggers synchronous partial drains.
+	BufferCapacity int64
+	// MemcpyBW is the server's buffer-copy bandwidth (bytes/s) charged
+	// per buffered block on simulated platforms; <= 0 charges nothing.
+	MemcpyBW float64
+	// PerBlockOverhead is the client-side protocol cost charged per data
+	// block shipped (packing, handshake bookkeeping); <= 0 charges
+	// nothing. On simulated platforms this models the per-message cost
+	// of the era's MPI stacks, which dominates a single sender's
+	// throughput and underlies Figure 3(a)'s ramp from 1 to 15
+	// processors per node.
+	PerBlockOverhead float64
+	// Compress stores snapshot datasets deflate-compressed on the
+	// servers.
+	Compress bool
+	// OnServerDone, if set, receives each server's metrics when it shuts
+	// down (called on the server's goroutine/process).
+	OnServerDone func(ServerMetrics)
+}
+
+// serverRanks returns the global ranks acting as servers.
+func serverRanks(total, m int, placement Placement) []int {
+	ranks := make([]int, m)
+	switch placement {
+	case Packed:
+		for i := range ranks {
+			ranks[i] = total - m + i
+		}
+	default:
+		for i := range ranks {
+			ranks[i] = i * total / m
+		}
+	}
+	return ranks
+}
+
+// Init performs Rocpanda initialization; every rank of the world must call
+// it. On client ranks it returns a Client whose Comm is the new client
+// communicator. On server ranks it runs the server routine until shutdown
+// and then returns (nil, nil) — the rank's main function should simply
+// return. With fewer than 2 ranks, or m >= total, Init fails.
+func Init(ctx mpi.Ctx, cfg Config) (*Client, error) {
+	world := ctx.Comm()
+	total := world.Size()
+	m := cfg.NumServers
+	if m <= 0 && cfg.ClientServerRatio > 0 {
+		m = total / (cfg.ClientServerRatio + 1)
+		if m < 1 {
+			m = 1
+		}
+	}
+	if m < 1 || m > total-m {
+		return nil, fmt.Errorf("rocpanda: %d servers with world size %d (need at least as many clients as servers)", m, total)
+	}
+
+	srvRanks := serverRanks(total, m, cfg.Placement)
+	isServer := false
+	myServerIdx := -1
+	for i, r := range srvRanks {
+		if r == world.Rank() {
+			isServer = true
+			myServerIdx = i
+		}
+	}
+	var clientRanks []int
+	srvSet := make(map[int]bool, m)
+	for _, r := range srvRanks {
+		srvSet[r] = true
+	}
+	for r := 0; r < total; r++ {
+		if !srvSet[r] {
+			clientRanks = append(clientRanks, r)
+		}
+	}
+	n := len(clientRanks)
+
+	// Split the world as the paper describes; the client communicator is
+	// what the application computes with from now on.
+	color := 0
+	if isServer {
+		color = 1
+	}
+	sub := world.Split(color, world.Rank())
+
+	// Client j (in client-communicator order) is served by server
+	// j*m/n: contiguous, equal-sized groups.
+	assign := func(j int) int { return j * m / n }
+
+	if isServer {
+		groups := make(map[int][]int) // server idx -> world ranks of its clients
+		for j, wr := range clientRanks {
+			groups[assign(j)] = append(groups[assign(j)], wr)
+		}
+		s := &server{
+			ctx:        ctx,
+			world:      world,
+			idx:        myServerIdx,
+			numServers: m,
+			myClients:  groups[myServerIdx],
+			allClients: clientRanks,
+			cfg:        cfg,
+		}
+		s.run()
+		if cfg.OnServerDone != nil {
+			cfg.OnServerDone(s.m)
+		}
+		return nil, nil
+	}
+
+	myIdx := -1
+	for j, wr := range clientRanks {
+		if wr == world.Rank() {
+			myIdx = j
+		}
+	}
+	return &Client{
+		ctx:        ctx,
+		world:      world,
+		comm:       sub,
+		myServer:   srvRanks[assign(myIdx)],
+		srvRanks:   srvRanks,
+		numServers: m,
+		blockOH:    cfg.PerBlockOverhead,
+	}, nil
+}

@@ -1,0 +1,163 @@
+package rt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// MemFS is an in-memory filesystem, safe for concurrent use by multiple
+// goroutine ranks. It is the real backend for tests and also the byte store
+// underneath the simulated filesystems in internal/fssim.
+type MemFS struct {
+	mu    sync.Mutex
+	files map[string]*memNode
+}
+
+type memNode struct {
+	mu   sync.Mutex
+	data []byte
+}
+
+// NewMemFS returns an empty in-memory filesystem.
+func NewMemFS() *MemFS {
+	return &MemFS{files: make(map[string]*memNode)}
+}
+
+// Create implements FS.
+func (m *MemFS) Create(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := &memNode{}
+	m.files[name] = n
+	return &memFile{name: name, node: n}, nil
+}
+
+// Open implements FS.
+func (m *MemFS) Open(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n, ok := m.files[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotExist, name)
+	}
+	return &memFile{name: name, node: n}, nil
+}
+
+// Remove implements FS.
+func (m *MemFS) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[name]; !ok {
+		return fmt.Errorf("%w: %s", ErrNotExist, name)
+	}
+	delete(m.files, name)
+	return nil
+}
+
+// List implements FS.
+func (m *MemFS) List(prefix string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var names []string
+	for name := range m.files {
+		if strings.HasPrefix(name, prefix) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Stat implements FS.
+func (m *MemFS) Stat(name string) (int64, error) {
+	m.mu.Lock()
+	n, ok := m.files[name]
+	m.mu.Unlock()
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNotExist, name)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return int64(len(n.data)), nil
+}
+
+type memFile struct {
+	name string
+	node *memNode
+}
+
+func (f *memFile) Name() string { return f.name }
+
+func (f *memFile) ReadAt(p []byte, off int64) (int, error) {
+	f.node.mu.Lock()
+	defer f.node.mu.Unlock()
+	if off < 0 {
+		return 0, fmt.Errorf("memfs: negative offset %d", off)
+	}
+	if off >= int64(len(f.node.data)) {
+		return 0, fmt.Errorf("memfs: read at %d past EOF (%d)", off, len(f.node.data))
+	}
+	n := copy(p, f.node.data[off:])
+	if n < len(p) {
+		return n, fmt.Errorf("memfs: short read: %d < %d", n, len(p))
+	}
+	return n, nil
+}
+
+func (f *memFile) WriteAt(p []byte, off int64) (int, error) {
+	f.node.mu.Lock()
+	defer f.node.mu.Unlock()
+	if off < 0 {
+		return 0, fmt.Errorf("memfs: negative offset %d", off)
+	}
+	end := off + int64(len(p))
+	if end > int64(len(f.node.data)) {
+		if end > int64(cap(f.node.data)) {
+			// Amortized growth: sequential appends (the common write
+			// pattern) must not copy the whole file every time.
+			newCap := 2 * int64(cap(f.node.data))
+			if newCap < end {
+				newCap = end
+			}
+			grown := make([]byte, end, newCap)
+			copy(grown, f.node.data)
+			f.node.data = grown
+		} else {
+			f.node.data = f.node.data[:end]
+		}
+	}
+	copy(f.node.data[off:end], p)
+	return len(p), nil
+}
+
+func (f *memFile) Size() (int64, error) {
+	f.node.mu.Lock()
+	defer f.node.mu.Unlock()
+	return int64(len(f.node.data)), nil
+}
+
+func (f *memFile) Truncate(size int64) error {
+	f.node.mu.Lock()
+	defer f.node.mu.Unlock()
+	if size < 0 {
+		return fmt.Errorf("memfs: negative truncate size %d", size)
+	}
+	if size <= int64(len(f.node.data)) {
+		// Zero the cut region so a later extension reads back zeros
+		// (the spare capacity is reused by WriteAt's growth path).
+		tail := f.node.data[size:]
+		for i := range tail {
+			tail[i] = 0
+		}
+		f.node.data = f.node.data[:size]
+		return nil
+	}
+	grown := make([]byte, size)
+	copy(grown, f.node.data)
+	f.node.data = grown
+	return nil
+}
+
+func (f *memFile) Close() error { return nil }

@@ -1,0 +1,120 @@
+package rt
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// OSFS is an FS rooted at a directory on the host filesystem. File names
+// are slash-separated paths relative to the root; parent directories are
+// created on demand.
+type OSFS struct {
+	root string
+}
+
+// NewOSFS returns an FS rooted at dir, creating it if necessary.
+func NewOSFS(dir string) (*OSFS, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &OSFS{root: dir}, nil
+}
+
+func (o *OSFS) path(name string) string {
+	return filepath.Join(o.root, filepath.FromSlash(name))
+}
+
+// Create implements FS.
+func (o *OSFS) Create(name string) (File, error) {
+	p := o.path(name)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(p, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &osFile{name: name, f: f}, nil
+}
+
+// Open implements FS.
+func (o *OSFS) Open(name string) (File, error) {
+	f, err := os.OpenFile(o.path(name), os.O_RDWR, 0)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, fmt.Errorf("%w: %s", ErrNotExist, name)
+		}
+		return nil, err
+	}
+	return &osFile{name: name, f: f}, nil
+}
+
+// Remove implements FS.
+func (o *OSFS) Remove(name string) error {
+	err := os.Remove(o.path(name))
+	if errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("%w: %s", ErrNotExist, name)
+	}
+	return err
+}
+
+// List implements FS.
+func (o *OSFS) List(prefix string) ([]string, error) {
+	var names []string
+	err := filepath.WalkDir(o.root, func(p string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		rel, err := filepath.Rel(o.root, p)
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		if strings.HasPrefix(rel, prefix) {
+			names = append(names, rel)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Stat implements FS.
+func (o *OSFS) Stat(name string) (int64, error) {
+	info, err := os.Stat(o.path(name))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return 0, fmt.Errorf("%w: %s", ErrNotExist, name)
+		}
+		return 0, err
+	}
+	return info.Size(), nil
+}
+
+type osFile struct {
+	name string
+	f    *os.File
+}
+
+func (f *osFile) Name() string                            { return f.name }
+func (f *osFile) ReadAt(p []byte, off int64) (int, error) { return f.f.ReadAt(p, off) }
+func (f *osFile) WriteAt(p []byte, off int64) (int, error) {
+	return f.f.WriteAt(p, off)
+}
+func (f *osFile) Truncate(size int64) error { return f.f.Truncate(size) }
+func (f *osFile) Close() error              { return f.f.Close() }
+func (f *osFile) Size() (int64, error) {
+	info, err := f.f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return info.Size(), nil
+}

@@ -1,0 +1,223 @@
+package rt
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// fsCases returns fresh instances of every FS implementation for
+// behavioural conformance tests.
+func fsCases(t *testing.T) map[string]FS {
+	t.Helper()
+	osfs, err := NewOSFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]FS{
+		"memfs": NewMemFS(),
+		"osfs":  osfs,
+	}
+}
+
+func TestFSRoundTrip(t *testing.T) {
+	for name, fsys := range fsCases(t) {
+		t.Run(name, func(t *testing.T) {
+			f, err := fsys.Create("dir/a.dat")
+			if err != nil {
+				t.Fatal(err)
+			}
+			data := []byte("hello parallel world")
+			if _, err := f.WriteAt(data, 0); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.WriteAt([]byte("IO"), 6); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			g, err := fsys.Open("dir/a.dat")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := make([]byte, len(data))
+			if _, err := g.ReadAt(got, 0); err != nil {
+				t.Fatal(err)
+			}
+			want := []byte("hello IOrallel world")
+			if !bytes.Equal(got, want) {
+				t.Fatalf("read %q, want %q", got, want)
+			}
+			sz, err := g.Size()
+			if err != nil || sz != int64(len(data)) {
+				t.Fatalf("size = %d, %v", sz, err)
+			}
+			g.Close()
+		})
+	}
+}
+
+func TestFSWriteExtends(t *testing.T) {
+	for name, fsys := range fsCases(t) {
+		t.Run(name, func(t *testing.T) {
+			f, _ := fsys.Create("x")
+			if _, err := f.WriteAt([]byte{1, 2, 3}, 10); err != nil {
+				t.Fatal(err)
+			}
+			sz, _ := f.Size()
+			if sz != 13 {
+				t.Fatalf("size = %d, want 13", sz)
+			}
+			// The gap must read back as zeros.
+			gap := make([]byte, 10)
+			if _, err := f.ReadAt(gap, 0); err != nil {
+				t.Fatal(err)
+			}
+			for i, b := range gap {
+				if b != 0 {
+					t.Fatalf("gap byte %d = %d, want 0", i, b)
+				}
+			}
+			f.Close()
+		})
+	}
+}
+
+func TestFSOpenMissing(t *testing.T) {
+	for name, fsys := range fsCases(t) {
+		t.Run(name, func(t *testing.T) {
+			if _, err := fsys.Open("nope"); !errors.Is(err, ErrNotExist) {
+				t.Fatalf("Open missing: err = %v, want ErrNotExist", err)
+			}
+			if _, err := fsys.Stat("nope"); !errors.Is(err, ErrNotExist) {
+				t.Fatalf("Stat missing: err = %v, want ErrNotExist", err)
+			}
+			if err := fsys.Remove("nope"); !errors.Is(err, ErrNotExist) {
+				t.Fatalf("Remove missing: err = %v, want ErrNotExist", err)
+			}
+		})
+	}
+}
+
+func TestFSListAndRemove(t *testing.T) {
+	for name, fsys := range fsCases(t) {
+		t.Run(name, func(t *testing.T) {
+			for _, n := range []string{"snap0/b2", "snap0/b1", "snap1/b1", "other"} {
+				f, err := fsys.Create(n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				f.WriteAt([]byte{0}, 0)
+				f.Close()
+			}
+			got, err := fsys.List("snap0/")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fmt.Sprint(got) != "[snap0/b1 snap0/b2]" {
+				t.Fatalf("List = %v", got)
+			}
+			all, _ := fsys.List("")
+			if len(all) != 4 {
+				t.Fatalf("List(\"\") = %v", all)
+			}
+			if err := fsys.Remove("snap0/b1"); err != nil {
+				t.Fatal(err)
+			}
+			got, _ = fsys.List("snap0/")
+			if fmt.Sprint(got) != "[snap0/b2]" {
+				t.Fatalf("after remove, List = %v", got)
+			}
+		})
+	}
+}
+
+func TestFSTruncate(t *testing.T) {
+	for name, fsys := range fsCases(t) {
+		t.Run(name, func(t *testing.T) {
+			f, _ := fsys.Create("t")
+			f.WriteAt([]byte("abcdef"), 0)
+			if err := f.Truncate(3); err != nil {
+				t.Fatal(err)
+			}
+			sz, _ := f.Size()
+			if sz != 3 {
+				t.Fatalf("size after shrink = %d", sz)
+			}
+			if err := f.Truncate(5); err != nil {
+				t.Fatal(err)
+			}
+			got := make([]byte, 5)
+			if _, err := f.ReadAt(got, 0); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, []byte{'a', 'b', 'c', 0, 0}) {
+				t.Fatalf("after grow: %v", got)
+			}
+			f.Close()
+		})
+	}
+}
+
+func TestFSCreateTruncatesExisting(t *testing.T) {
+	for name, fsys := range fsCases(t) {
+		t.Run(name, func(t *testing.T) {
+			f, _ := fsys.Create("c")
+			f.WriteAt([]byte("old content"), 0)
+			f.Close()
+			g, _ := fsys.Create("c")
+			sz, _ := g.Size()
+			if sz != 0 {
+				t.Fatalf("Create did not truncate: size %d", sz)
+			}
+			g.Close()
+		})
+	}
+}
+
+func TestMemFSRandomRoundTrip(t *testing.T) {
+	fsys := NewMemFS()
+	i := 0
+	f := func(data []byte, offRaw uint16) bool {
+		if len(data) == 0 {
+			return true
+		}
+		i++
+		name := fmt.Sprintf("f%d", i)
+		off := int64(offRaw % 4096)
+		fh, err := fsys.Create(name)
+		if err != nil {
+			return false
+		}
+		if _, err := fh.WriteAt(data, off); err != nil {
+			return false
+		}
+		got := make([]byte, len(data))
+		if _, err := fh.ReadAt(got, off); err != nil {
+			return false
+		}
+		sz, _ := fh.Size()
+		return bytes.Equal(got, data) && sz == off+int64(len(data))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWallClock(t *testing.T) {
+	c := NewWallClock()
+	t0 := c.Now()
+	c.Compute(1e9) // must be free
+	c.Sleep(0.01)
+	t1 := c.Now()
+	if t1-t0 < 0.009 {
+		t.Fatalf("Sleep advanced only %v s", t1-t0)
+	}
+	if t1-t0 > 5 {
+		t.Fatalf("Compute appears to have consumed real time: %v s", t1-t0)
+	}
+}

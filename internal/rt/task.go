@@ -1,0 +1,47 @@
+package rt
+
+// TaskCtx is the execution context handed to a background activity (the
+// paper's per-process I/O thread in T-Rochdf): its own clock identity and
+// filesystem view, so simulated backends can charge time to the right
+// entity.
+type TaskCtx interface {
+	Clock() Clock
+	FS() FS
+}
+
+// Queue is a bounded FIFO connecting a rank and its background activities,
+// with Go-channel semantics: Put blocks while full and panics if the queue
+// is closed; Get blocks while empty and reports closure with ok=false once
+// drained. The Clock argument identifies the calling activity, which
+// simulated backends need in order to block the right process.
+type Queue interface {
+	Put(c Clock, v interface{})
+	Get(c Clock) (interface{}, bool)
+	Close()
+}
+
+// GoQueue is the real-backend Queue: a thin wrapper over a buffered
+// channel. The Clock arguments are ignored (goroutines block natively).
+type GoQueue struct {
+	ch chan interface{}
+}
+
+// NewGoQueue returns a queue with the given capacity (>= 1).
+func NewGoQueue(capacity int) *GoQueue {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &GoQueue{ch: make(chan interface{}, capacity)}
+}
+
+// Put implements Queue.
+func (q *GoQueue) Put(_ Clock, v interface{}) { q.ch <- v }
+
+// Get implements Queue.
+func (q *GoQueue) Get(_ Clock) (interface{}, bool) {
+	v, ok := <-q.ch
+	return v, ok
+}
+
+// Close implements Queue.
+func (q *GoQueue) Close() { close(q.ch) }

@@ -1,0 +1,77 @@
+package sim
+
+// Event is a one-shot condition that processes can wait on. Once triggered
+// it stays triggered; later waits return immediately. The optional value
+// set at trigger time is delivered to every waiter.
+type Event struct {
+	env     *Env
+	name    string
+	fired   bool
+	value   interface{}
+	waiters []*Proc
+}
+
+// NewEvent returns an untriggered event.
+func (e *Env) NewEvent(name string) *Event {
+	return &Event{env: e, name: name}
+}
+
+// Fired reports whether the event has been triggered.
+func (ev *Event) Fired() bool { return ev.fired }
+
+// Value returns the value the event was triggered with, or nil.
+func (ev *Event) Value() interface{} { return ev.value }
+
+// Trigger fires the event with value v, waking every waiting process at the
+// current virtual time. Triggering an already-fired event is a no-op.
+func (ev *Event) Trigger(v interface{}) {
+	if ev.fired {
+		return
+	}
+	ev.fired = true
+	ev.value = v
+	for _, p := range ev.waiters {
+		ev.env.schedule(p, ev.env.now)
+	}
+	ev.waiters = nil
+}
+
+// WaitEvent blocks the calling process until the event fires and returns the
+// trigger value. If the event has already fired it returns immediately.
+func (p *Proc) WaitEvent(ev *Event) interface{} {
+	if ev.fired {
+		return ev.value
+	}
+	ev.waiters = append(ev.waiters, p)
+	p.park("event:" + ev.name)
+	return ev.value
+}
+
+// Counter is a countdown latch: processes wait until Add has been called
+// down to zero. It is used for barrier-style synchronization.
+type Counter struct {
+	env  *Env
+	name string
+	n    int
+	ev   *Event
+}
+
+// NewCounter returns a latch that opens after n calls to Done.
+func (e *Env) NewCounter(name string, n int) *Counter {
+	c := &Counter{env: e, name: name, n: n, ev: e.NewEvent(name)}
+	if n <= 0 {
+		c.ev.Trigger(nil)
+	}
+	return c
+}
+
+// Done decrements the latch; the last decrement releases all waiters.
+func (c *Counter) Done() {
+	c.n--
+	if c.n <= 0 {
+		c.ev.Trigger(nil)
+	}
+}
+
+// WaitCounter blocks until the latch reaches zero.
+func (p *Proc) WaitCounter(c *Counter) { p.WaitEvent(c.ev) }

@@ -1,0 +1,87 @@
+package sim
+
+// Queue is a bounded FIFO connecting processes of one environment — the
+// simulated counterpart of a buffered Go channel. It backs the background
+// I/O thread of T-Rochdf in simulation.
+type Queue struct {
+	env    *Env
+	name   string
+	cap    int
+	items  []interface{}
+	closed bool
+	putW   []*Proc
+	getW   []*Proc
+}
+
+// NewQueue returns a queue with the given capacity (>= 1).
+func (e *Env) NewQueue(name string, capacity int) *Queue {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Queue{env: e, name: name, cap: capacity}
+}
+
+// Put appends v, blocking the calling process while the queue is full.
+// Put on a closed queue panics, matching channel semantics.
+func (q *Queue) Put(p *Proc, v interface{}) {
+	for len(q.items) >= q.cap && !q.closed {
+		q.putW = append(q.putW, p)
+		p.park("queue-full:" + q.name)
+	}
+	if q.closed {
+		panic("sim: Put on closed queue " + q.name)
+	}
+	q.items = append(q.items, v)
+	q.wakeOneGetter()
+}
+
+// Get removes and returns the head item, blocking while the queue is empty
+// and open. It returns (nil, false) once the queue is closed and drained.
+func (q *Queue) Get(p *Proc) (interface{}, bool) {
+	for len(q.items) == 0 && !q.closed {
+		q.getW = append(q.getW, p)
+		p.park("queue-empty:" + q.name)
+	}
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	q.wakeOnePutter()
+	return v, true
+}
+
+// Close marks the queue closed, waking all blocked processes. Further Gets
+// drain remaining items and then report closure.
+func (q *Queue) Close() {
+	if q.closed {
+		return
+	}
+	q.closed = true
+	for _, p := range q.putW {
+		q.env.schedule(p, q.env.now)
+	}
+	for _, p := range q.getW {
+		q.env.schedule(p, q.env.now)
+	}
+	q.putW, q.getW = nil, nil
+}
+
+// Len returns the number of queued items.
+func (q *Queue) Len() int { return len(q.items) }
+
+func (q *Queue) wakeOneGetter() {
+	if len(q.getW) > 0 {
+		p := q.getW[0]
+		q.getW = q.getW[1:]
+		q.env.schedule(p, q.env.now)
+	}
+}
+
+func (q *Queue) wakeOnePutter() {
+	if len(q.putW) > 0 {
+		p := q.putW[0]
+		q.putW = q.putW[1:]
+		q.env.schedule(p, q.env.now)
+	}
+}

@@ -1,0 +1,126 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestQueueFIFO(t *testing.T) {
+	env := NewEnv()
+	q := env.NewQueue("q", 10)
+	var got []int
+	env.Spawn("producer", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			p.Wait(1)
+			q.Put(p, i)
+		}
+		q.Close()
+	})
+	env.Spawn("consumer", func(p *Proc) {
+		for {
+			v, ok := q.Get(p)
+			if !ok {
+				return
+			}
+			got = append(got, v.(int))
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != "[0 1 2 3 4]" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestQueueBlocksWhenFull(t *testing.T) {
+	env := NewEnv()
+	q := env.NewQueue("q", 1)
+	var putDone, getAt float64
+	env.Spawn("producer", func(p *Proc) {
+		q.Put(p, 1) // fits
+		q.Put(p, 2) // blocks until consumer takes item 1 at t=5
+		putDone = env.Now()
+		q.Close()
+	})
+	env.Spawn("consumer", func(p *Proc) {
+		p.Wait(5)
+		q.Get(p)
+		getAt = env.Now()
+		for {
+			if _, ok := q.Get(p); !ok {
+				return
+			}
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if putDone != 5 || getAt != 5 {
+		t.Fatalf("putDone=%v getAt=%v, want both 5", putDone, getAt)
+	}
+}
+
+func TestQueueCloseDrains(t *testing.T) {
+	env := NewEnv()
+	q := env.NewQueue("q", 4)
+	var drained []int
+	env.Spawn("p", func(p *Proc) {
+		q.Put(p, 1)
+		q.Put(p, 2)
+		q.Close()
+		q.Close() // idempotent
+		for {
+			v, ok := q.Get(p)
+			if !ok {
+				break
+			}
+			drained = append(drained, v.(int))
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(drained) != "[1 2]" {
+		t.Fatalf("drained %v", drained)
+	}
+}
+
+func TestQueueGetUnblocksOnClose(t *testing.T) {
+	env := NewEnv()
+	q := env.NewQueue("q", 1)
+	var ok bool = true
+	env.Spawn("getter", func(p *Proc) {
+		_, ok = q.Get(p)
+	})
+	env.Spawn("closer", func(p *Proc) {
+		p.Wait(3)
+		q.Close()
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("Get did not observe close")
+	}
+	if env.Now() != 3 {
+		t.Fatalf("time %v", env.Now())
+	}
+}
+
+func TestQueuePutOnClosedPanics(t *testing.T) {
+	env := NewEnv()
+	q := env.NewQueue("q", 1)
+	env.Spawn("p", func(p *Proc) {
+		q.Close()
+		defer func() {
+			if recover() == nil {
+				t.Error("Put on closed queue did not panic")
+			}
+		}()
+		q.Put(p, 1)
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,112 @@
+package sim
+
+// Resource is a FCFS capacity-constrained server, used to model contended
+// hardware: NICs, memory buses, disks, file-server queues. A process
+// acquires one unit of capacity, holds it for some virtual time, and
+// releases it; excess requests queue in arrival order.
+type Resource struct {
+	env   *Env
+	name  string
+	cap   int
+	inUse int
+	queue []*Proc
+
+	// accounting
+	busyTime  float64 // unit-seconds of held capacity
+	lastStamp float64
+	acquires  int64
+	waitTime  float64 // total queueing delay experienced
+}
+
+// NewResource returns a resource with the given capacity (>= 1).
+func (e *Env) NewResource(name string, capacity int) *Resource {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Resource{env: e, name: name, cap: capacity}
+}
+
+// Name returns the resource name.
+func (r *Resource) Name() string { return r.name }
+
+// Capacity returns the resource capacity.
+func (r *Resource) Capacity() int { return r.cap }
+
+// InUse returns the number of capacity units currently held.
+func (r *Resource) InUse() int { return r.inUse }
+
+// QueueLen returns the number of processes waiting to acquire.
+func (r *Resource) QueueLen() int { return len(r.queue) }
+
+func (r *Resource) stamp() {
+	now := r.env.now
+	r.busyTime += float64(r.inUse) * (now - r.lastStamp)
+	r.lastStamp = now
+}
+
+// Acquire blocks the calling process until one unit of capacity is free and
+// takes it.
+func (r *Resource) Acquire(p *Proc) {
+	t0 := r.env.now
+	if r.inUse < r.cap && len(r.queue) == 0 {
+		r.stamp()
+		r.inUse++
+		r.acquires++
+		return
+	}
+	r.queue = append(r.queue, p)
+	p.park("resource:" + r.name)
+	// We were woken by Release, which already granted us the unit.
+	r.waitTime += r.env.now - t0
+	r.acquires++
+}
+
+// Release returns one unit of capacity, handing it to the head of the queue
+// if any.
+func (r *Resource) Release() {
+	r.stamp()
+	if len(r.queue) > 0 {
+		// Transfer the unit directly to the next waiter; inUse is
+		// unchanged net of the release+grant.
+		next := r.queue[0]
+		r.queue = r.queue[1:]
+		r.env.schedule(next, r.env.now)
+		return
+	}
+	r.inUse--
+	if r.inUse < 0 {
+		panic("sim: Release of " + r.name + " without Acquire")
+	}
+}
+
+// Use acquires the resource, holds it for d seconds of virtual time, and
+// releases it. It is the common pattern for charging work to contended
+// hardware.
+func (r *Resource) Use(p *Proc, d float64) {
+	r.Acquire(p)
+	p.Wait(d)
+	r.Release()
+}
+
+// BusyTime returns the cumulative unit-seconds the resource has been held,
+// up to the current virtual time.
+func (r *Resource) BusyTime() float64 {
+	r.stamp()
+	return r.busyTime
+}
+
+// Utilization returns BusyTime divided by capacity*elapsed, in [0,1].
+func (r *Resource) Utilization() float64 {
+	if r.env.now == 0 {
+		return 0
+	}
+	return r.BusyTime() / (float64(r.cap) * r.env.now)
+}
+
+// AvgWait returns the average queueing delay per acquire, in seconds.
+func (r *Resource) AvgWait() float64 {
+	if r.acquires == 0 {
+		return 0
+	}
+	return r.waitTime / float64(r.acquires)
+}

@@ -1,0 +1,173 @@
+// Package stats provides the deterministic pseudo-random number generator
+// and the summary statistics used by the simulation models and the
+// experiment harness (the paper reports means with 95% confidence
+// intervals over repeated runs).
+package stats
+
+import "math"
+
+// RNG is a small, fast, deterministic generator (splitmix64). It is the
+// only source of randomness in the simulator, so a seed fully determines a
+// run.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0,1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0,n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn with n <= 0")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Range returns a uniform value in [lo,hi).
+func (r *RNG) Range(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Exp returns an exponentially distributed value with the given mean.
+func (r *RNG) Exp(mean float64) float64 {
+	u := r.Float64()
+	if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	return -mean * math.Log(1-u)
+}
+
+// Normal returns a normally distributed value (Box-Muller).
+func (r *RNG) Normal(mean, stddev float64) float64 {
+	u1 := r.Float64()
+	if u1 <= 0 {
+		u1 = math.SmallestNonzeroFloat64
+	}
+	u2 := r.Float64()
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return mean + stddev*z
+}
+
+// LogNormalAround returns a value whose log is normal, centered so the
+// median is m with multiplicative spread sigma (sigma=0 returns m). Used
+// for block-size and noise-burst distributions.
+func (r *RNG) LogNormalAround(m, sigma float64) float64 {
+	if sigma <= 0 {
+		return m
+	}
+	return m * math.Exp(r.Normal(0, sigma))
+}
+
+// Split returns a new generator derived from this one, so independent
+// subsystems can be given independent deterministic streams.
+func (r *RNG) Split() *RNG { return NewRNG(r.Uint64()) }
+
+// Summary holds descriptive statistics of a sample.
+type Summary struct {
+	N    int
+	Mean float64
+	Std  float64 // sample standard deviation
+	Min  float64
+	Max  float64
+	CI95 float64 // half-width of the 95% confidence interval of the mean
+}
+
+// Summarize computes descriptive statistics of xs. An empty sample returns
+// the zero Summary.
+func Summarize(xs []float64) Summary {
+	var s Summary
+	s.N = len(xs)
+	if s.N == 0 {
+		return s
+	}
+	s.Min, s.Max = xs[0], xs[0]
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(s.N-1))
+		s.CI95 = tCrit(s.N-1) * s.Std / math.Sqrt(float64(s.N))
+	}
+	return s
+}
+
+// tCrit returns the two-sided 95% critical value of Student's t
+// distribution for df degrees of freedom (table for small df, normal
+// approximation beyond).
+func tCrit(df int) float64 {
+	table := []float64{
+		0, 12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306,
+		2.262, 2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110,
+		2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+		2.052, 2.048, 2.045, 2.042,
+	}
+	if df <= 0 {
+		return 0
+	}
+	if df < len(table) {
+		return table[df]
+	}
+	return 1.96
+}
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// MinOf returns the smallest value in xs. It panics on an empty slice.
+func MinOf(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// MaxOf returns the largest value in xs. It panics on an empty slice.
+func MaxOf(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

@@ -1,0 +1,196 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed generators diverged at step %d", i)
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	a = NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical values", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(1)
+	f := func(_ uint8) bool {
+		v := r.Float64()
+		return v >= 0 && v < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := NewRNG(2)
+	counts := make([]int, 7)
+	for i := 0; i < 70000; i++ {
+		counts[r.Intn(7)]++
+	}
+	for i, c := range counts {
+		if c < 8000 || c > 12000 {
+			t.Fatalf("bucket %d count %d far from uniform", i, c)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestExpMean(t *testing.T) {
+	r := NewRNG(3)
+	var sum float64
+	n := 200000
+	for i := 0; i < n; i++ {
+		v := r.Exp(5)
+		if v < 0 {
+			t.Fatal("negative exponential sample")
+		}
+		sum += v
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-5) > 0.1 {
+		t.Fatalf("exp mean = %v, want ~5", mean)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := NewRNG(4)
+	n := 200000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = r.Normal(10, 2)
+	}
+	s := Summarize(xs)
+	if math.Abs(s.Mean-10) > 0.05 {
+		t.Fatalf("normal mean = %v", s.Mean)
+	}
+	if math.Abs(s.Std-2) > 0.05 {
+		t.Fatalf("normal std = %v", s.Std)
+	}
+}
+
+func TestLogNormalMedian(t *testing.T) {
+	r := NewRNG(5)
+	if got := r.LogNormalAround(3, 0); got != 3 {
+		t.Fatalf("sigma=0 returned %v", got)
+	}
+	below := 0
+	n := 100000
+	for i := 0; i < n; i++ {
+		if r.LogNormalAround(3, 0.5) < 3 {
+			below++
+		}
+	}
+	frac := float64(below) / float64(n)
+	if frac < 0.48 || frac > 0.52 {
+		t.Fatalf("median off: %v below center", frac)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := NewRNG(6)
+	a := r.Split()
+	b := r.Split()
+	if a.Uint64() == b.Uint64() {
+		t.Fatal("split streams start identically")
+	}
+}
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Mean != 5 {
+		t.Fatalf("N=%d mean=%v", s.N, s.Mean)
+	}
+	if math.Abs(s.Std-2.138) > 0.001 {
+		t.Fatalf("std = %v", s.Std)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Fatalf("min/max = %v/%v", s.Min, s.Max)
+	}
+	if s.CI95 <= 0 {
+		t.Fatal("CI95 not positive")
+	}
+}
+
+func TestSummarizeEdge(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	s := Summarize([]float64{3.5})
+	if s.N != 1 || s.Mean != 3.5 || s.Std != 0 || s.CI95 != 0 {
+		t.Fatalf("singleton summary = %+v", s)
+	}
+}
+
+func TestSummarizeProperties(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		s := Summarize(xs)
+		if s.Min > s.Mean || s.Mean > s.Max {
+			return false
+		}
+		if s.Std < 0 || s.CI95 < 0 {
+			return false
+		}
+		if Mean(xs) != s.Mean {
+			return false
+		}
+		return MinOf(xs) == s.Min && MaxOf(xs) == s.Max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCrit(t *testing.T) {
+	if tCrit(0) != 0 {
+		t.Fatal("tCrit(0) != 0")
+	}
+	if tCrit(1) != 12.706 {
+		t.Fatal("tCrit(1) wrong")
+	}
+	if tCrit(1000) != 1.96 {
+		t.Fatal("large-df tCrit not normal")
+	}
+	// Monotone decreasing toward 1.96.
+	prev := tCrit(1)
+	for df := 2; df < 60; df++ {
+		c := tCrit(df)
+		if c > prev {
+			t.Fatalf("tCrit not monotone at df=%d", df)
+		}
+		if c < 1.96 {
+			t.Fatalf("tCrit(%d)=%v below normal limit", df, c)
+		}
+		prev = c
+	}
+}

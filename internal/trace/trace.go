@@ -1,0 +1,166 @@
+// Package trace records per-rank phase intervals (compute, visible I/O,
+// restart reads, sync waits) and renders them as an ASCII timeline — the
+// kind of phase profile the paper's authors used to attribute visible I/O
+// cost and argue for overlap (their sync interface exists precisely "for
+// performance analysis and debugging"). On simulated platforms the
+// timeline is in virtual seconds and is deterministic.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Phase labels used by rocman; applications may record their own.
+const (
+	PhaseCompute = "compute"
+	PhaseWrite   = "write"
+	PhaseRead    = "read"
+	PhaseSync    = "sync"
+)
+
+// Span is one recorded interval on one rank.
+type Span struct {
+	Rank  int
+	Phase string
+	T0    float64
+	T1    float64
+}
+
+// Recorder collects spans from many ranks. It is safe for concurrent use
+// (the real backend records from multiple goroutines).
+type Recorder struct {
+	mu    sync.Mutex
+	spans []Span
+}
+
+// New returns an empty recorder.
+func New() *Recorder { return &Recorder{} }
+
+// Record appends one interval; zero-length and reversed intervals are
+// dropped.
+func (r *Recorder) Record(rank int, phase string, t0, t1 float64) {
+	if r == nil || t1 <= t0 {
+		return
+	}
+	r.mu.Lock()
+	r.spans = append(r.spans, Span{Rank: rank, Phase: phase, T0: t0, T1: t1})
+	r.mu.Unlock()
+}
+
+// Spans returns a copy of the recorded spans sorted by (rank, start).
+func (r *Recorder) Spans() []Span {
+	r.mu.Lock()
+	out := append([]Span(nil), r.spans...)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Rank != out[j].Rank {
+			return out[i].Rank < out[j].Rank
+		}
+		return out[i].T0 < out[j].T0
+	})
+	return out
+}
+
+// Totals returns the summed duration per phase per rank.
+func (r *Recorder) Totals() map[int]map[string]float64 {
+	out := make(map[int]map[string]float64)
+	for _, s := range r.Spans() {
+		m := out[s.Rank]
+		if m == nil {
+			m = make(map[string]float64)
+			out[s.Rank] = m
+		}
+		m[s.Phase] += s.T1 - s.T0
+	}
+	return out
+}
+
+// phaseGlyphs maps well-known phases to timeline characters.
+var phaseGlyphs = map[string]byte{
+	PhaseCompute: '=',
+	PhaseWrite:   'W',
+	PhaseRead:    'R',
+	PhaseSync:    'S',
+}
+
+// Timeline renders one line per rank, width columns across [0, maxT],
+// with a per-phase totals footer. Overlapping spans resolve in favor of
+// the non-compute phase (I/O is what the reader is looking for).
+func (r *Recorder) Timeline(w io.Writer, width int) error {
+	spans := r.Spans()
+	if len(spans) == 0 {
+		_, err := fmt.Fprintln(w, "trace: no spans recorded")
+		return err
+	}
+	if width < 10 {
+		width = 10
+	}
+	var maxT float64
+	ranks := map[int]bool{}
+	for _, s := range spans {
+		if s.T1 > maxT {
+			maxT = s.T1
+		}
+		ranks[s.Rank] = true
+	}
+	order := make([]int, 0, len(ranks))
+	for rk := range ranks {
+		order = append(order, rk)
+	}
+	sort.Ints(order)
+
+	fmt.Fprintf(w, "timeline over %.3fs (%c compute, %c write, %c read, %c sync)\n",
+		maxT, phaseGlyphs[PhaseCompute], phaseGlyphs[PhaseWrite], phaseGlyphs[PhaseRead], phaseGlyphs[PhaseSync])
+	for _, rk := range order {
+		line := []byte(strings.Repeat(".", width))
+		for _, s := range spans {
+			if s.Rank != rk {
+				continue
+			}
+			g, ok := phaseGlyphs[s.Phase]
+			if !ok {
+				g = '?'
+			}
+			c0 := int(s.T0 / maxT * float64(width))
+			c1 := int(s.T1 / maxT * float64(width))
+			if c1 >= width {
+				c1 = width - 1
+			}
+			for c := c0; c <= c1; c++ {
+				if line[c] == '.' || line[c] == phaseGlyphs[PhaseCompute] {
+					line[c] = g
+				}
+			}
+		}
+		fmt.Fprintf(w, "rank %3d %s\n", rk, line)
+	}
+
+	// Footer: per-phase totals across ranks (max over ranks, the number
+	// the paper's tables report).
+	totals := r.Totals()
+	phases := map[string]bool{}
+	for _, m := range totals {
+		for p := range m {
+			phases[p] = true
+		}
+	}
+	names := make([]string, 0, len(phases))
+	for p := range phases {
+		names = append(names, p)
+	}
+	sort.Strings(names)
+	for _, p := range names {
+		var max float64
+		for _, m := range totals {
+			if m[p] > max {
+				max = m[p]
+			}
+		}
+		fmt.Fprintf(w, "%-8s max over ranks: %.3fs\n", p, max)
+	}
+	return nil
+}

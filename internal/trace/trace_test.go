@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRecordAndTotals(t *testing.T) {
+	r := New()
+	r.Record(0, PhaseCompute, 0, 5)
+	r.Record(0, PhaseWrite, 5, 6)
+	r.Record(0, PhaseCompute, 6, 11)
+	r.Record(1, PhaseCompute, 0, 10)
+	r.Record(1, PhaseSync, 10, 12)
+	r.Record(1, PhaseCompute, 3, 3)                // zero-length: dropped
+	r.Record(1, PhaseCompute, 4, 2)                // reversed: dropped
+	(*Recorder)(nil).Record(0, PhaseCompute, 0, 1) // nil-safe
+
+	spans := r.Spans()
+	if len(spans) != 5 {
+		t.Fatalf("spans = %d, want 5", len(spans))
+	}
+	// Sorted by (rank, t0).
+	for i := 1; i < len(spans); i++ {
+		a, b := spans[i-1], spans[i]
+		if a.Rank > b.Rank || (a.Rank == b.Rank && a.T0 > b.T0) {
+			t.Fatalf("spans not sorted at %d", i)
+		}
+	}
+	tot := r.Totals()
+	if math.Abs(tot[0][PhaseCompute]-10) > 1e-12 || tot[0][PhaseWrite] != 1 {
+		t.Fatalf("rank 0 totals %v", tot[0])
+	}
+	if tot[1][PhaseSync] != 2 {
+		t.Fatalf("rank 1 totals %v", tot[1])
+	}
+}
+
+func TestTimelineRendering(t *testing.T) {
+	r := New()
+	r.Record(0, PhaseCompute, 0, 8)
+	r.Record(0, PhaseWrite, 8, 10)
+	r.Record(1, PhaseCompute, 0, 10)
+	var b strings.Builder
+	if err := r.Timeline(&b, 40); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "rank   0") || !strings.Contains(out, "rank   1") {
+		t.Fatalf("missing rank rows:\n%s", out)
+	}
+	// Rank 0's row ends in W glyphs; rank 1's is all compute.
+	lines := strings.Split(out, "\n")
+	var row0, row1 string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "rank   0") {
+			row0 = l
+		}
+		if strings.HasPrefix(l, "rank   1") {
+			row1 = l
+		}
+	}
+	if !strings.Contains(row0, "W") || strings.Contains(row1, "W") {
+		t.Fatalf("glyph placement wrong:\n%s\n%s", row0, row1)
+	}
+	if !strings.Contains(out, "compute  max over ranks: 10.000s") {
+		t.Fatalf("totals footer wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "write    max over ranks: 2.000s") {
+		t.Fatalf("write footer wrong:\n%s", out)
+	}
+}
+
+func TestTimelineEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := New().Timeline(&b, 40); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "no spans") {
+		t.Fatal("empty recorder not reported")
+	}
+}
+
+func TestOverlapFavorsIO(t *testing.T) {
+	r := New()
+	r.Record(0, PhaseCompute, 0, 10)
+	r.Record(0, PhaseWrite, 4, 6) // inside the compute span
+	var b strings.Builder
+	r.Timeline(&b, 20)
+	row := ""
+	for _, l := range strings.Split(b.String(), "\n") {
+		if strings.HasPrefix(l, "rank   0") {
+			row = l
+		}
+	}
+	if !strings.Contains(row, "W") {
+		t.Fatalf("I/O hidden under compute glyphs: %q", row)
+	}
+}

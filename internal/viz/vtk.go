@@ -1,0 +1,233 @@
+// Package viz converts RHDF snapshots into legacy VTK files — the bridge
+// from GENx's output to general visualization pipelines, which is what the
+// era's Rocketeer ultimately provided (Figure 1(b) is a rendering of
+// exactly these per-pane datasets). One call exports every pane of a
+// window from a snapshot file into a single unstructured-grid .vtk with
+// the window's node-centered attributes attached as point data.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"genxio/internal/hdf"
+	"genxio/internal/mesh"
+	"genxio/internal/roccom"
+)
+
+// VTK legacy cell type ids.
+const (
+	vtkHexahedron = 12
+	vtkTetra      = 10
+)
+
+// pane is one reconstructed block plus its node-centered fields.
+type pane struct {
+	id     int
+	block  *mesh.Block
+	fields map[string][]float64 // attr -> flattened node data
+	ncomp  map[string]int
+}
+
+// WriteVTK exports the named window from an opened RHDF reader as a legacy
+// ASCII VTK unstructured grid. All panes are merged into one grid (their
+// node numbering is offset per pane); every node-centered float64
+// attribute present on all panes becomes a SCALARS (1 component) or
+// VECTORS (3 components) point-data array. Other component counts are
+// split into per-component scalars.
+func WriteVTK(out io.Writer, r *hdf.Reader, window string) error {
+	panes, err := collect(r, window)
+	if err != nil {
+		return err
+	}
+	if len(panes) == 0 {
+		return fmt.Errorf("viz: no panes of window %q in the file", window)
+	}
+
+	var totalNodes, totalCells, cellInts int
+	for _, p := range panes {
+		totalNodes += p.block.NumNodes()
+		totalCells += p.block.NumElems()
+		if p.block.Kind == mesh.Structured {
+			cellInts += p.block.NumElems() * 9 // 8 corners + count
+		} else {
+			cellInts += p.block.NumElems() * 5 // 4 corners + count
+		}
+	}
+
+	fmt.Fprintf(out, "# vtk DataFile Version 3.0\n")
+	fmt.Fprintf(out, "genxio window %s (%d panes)\n", window, len(panes))
+	fmt.Fprintf(out, "ASCII\nDATASET UNSTRUCTURED_GRID\n")
+
+	fmt.Fprintf(out, "POINTS %d double\n", totalNodes)
+	for _, p := range panes {
+		b := p.block
+		for n := 0; n < b.NumNodes(); n++ {
+			x, y, z := b.Node(n)
+			fmt.Fprintf(out, "%g %g %g\n", x, y, z)
+		}
+	}
+
+	fmt.Fprintf(out, "CELLS %d %d\n", totalCells, cellInts)
+	offset := 0
+	for _, p := range panes {
+		b := p.block
+		if b.Kind == mesh.Structured {
+			idx := func(i, j, k int) int { return offset + (k*b.NJ+j)*b.NI + i }
+			for k := 0; k < b.NK-1; k++ {
+				for j := 0; j < b.NJ-1; j++ {
+					for i := 0; i < b.NI-1; i++ {
+						// VTK hexahedron corner order.
+						fmt.Fprintf(out, "8 %d %d %d %d %d %d %d %d\n",
+							idx(i, j, k), idx(i+1, j, k), idx(i+1, j+1, k), idx(i, j+1, k),
+							idx(i, j, k+1), idx(i+1, j, k+1), idx(i+1, j+1, k+1), idx(i, j+1, k+1))
+					}
+				}
+			}
+		} else {
+			for e := 0; e < b.NumElems(); e++ {
+				fmt.Fprintf(out, "4 %d %d %d %d\n",
+					offset+int(b.Conn[4*e]), offset+int(b.Conn[4*e+1]),
+					offset+int(b.Conn[4*e+2]), offset+int(b.Conn[4*e+3]))
+			}
+		}
+		offset += b.NumNodes()
+	}
+
+	fmt.Fprintf(out, "CELL_TYPES %d\n", totalCells)
+	for _, p := range panes {
+		ct := vtkTetra
+		if p.block.Kind == mesh.Structured {
+			ct = vtkHexahedron
+		}
+		for e := 0; e < p.block.NumElems(); e++ {
+			fmt.Fprintf(out, "%d\n", ct)
+		}
+	}
+
+	// Point data: attributes present on every pane, in sorted order.
+	attrs := commonAttrs(panes)
+	if len(attrs) > 0 {
+		fmt.Fprintf(out, "POINT_DATA %d\n", totalNodes)
+	}
+	for _, name := range attrs {
+		nc := panes[0].ncomp[name]
+		switch nc {
+		case 1:
+			fmt.Fprintf(out, "SCALARS %s double 1\nLOOKUP_TABLE default\n", name)
+			for _, p := range panes {
+				for _, v := range p.fields[name] {
+					fmt.Fprintf(out, "%g\n", v)
+				}
+			}
+		case 3:
+			fmt.Fprintf(out, "VECTORS %s double\n", name)
+			for _, p := range panes {
+				f := p.fields[name]
+				for n := 0; n+2 < len(f); n += 3 {
+					fmt.Fprintf(out, "%g %g %g\n", f[n], f[n+1], f[n+2])
+				}
+			}
+		default:
+			for c := 0; c < nc; c++ {
+				fmt.Fprintf(out, "SCALARS %s_%d double 1\nLOOKUP_TABLE default\n", name, c)
+				for _, p := range panes {
+					f := p.fields[name]
+					for n := 0; nc*n+c < len(f); n++ {
+						fmt.Fprintf(out, "%g\n", f[nc*n+c])
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// collect reconstructs the window's panes (mesh + node-centered float64
+// attributes) from the reader.
+func collect(r *hdf.Reader, window string) ([]*pane, error) {
+	byID := make(map[int][]roccom.IOSet)
+	for _, d := range r.Datasets() {
+		win, id, _, ok := roccom.ParseDatasetName(d.Name)
+		if !ok || win != window {
+			continue
+		}
+		data, err := r.ReadData(d)
+		if err != nil {
+			return nil, err
+		}
+		byID[id] = append(byID[id], roccom.IOSet{
+			Name: d.Name, Type: d.Type, Dims: d.Dims, Attrs: d.Attrs, Data: data,
+		})
+	}
+	ids := make([]int, 0, len(byID))
+	for id := range byID {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+
+	var panes []*pane
+	for _, id := range ids {
+		// Reuse the restart machinery to rebuild the mesh block, via a
+		// throwaway window carrying the node-centered float64 specs.
+		rc := roccom.New()
+		w, err := rc.NewWindow(window)
+		if err != nil {
+			return nil, err
+		}
+		p := &pane{id: id, fields: make(map[string][]float64), ncomp: make(map[string]int)}
+		for _, s := range byID[id] {
+			_, _, attr, _ := roccom.ParseDatasetName(s.Name)
+			if attr == "" || attr[0] == '_' || s.Type != hdf.F64 || len(s.Dims) != 2 {
+				continue
+			}
+			loc, ok := attrLoc(s)
+			if !ok || loc != byte(roccom.NodeLoc) {
+				continue
+			}
+			nc := int(s.Dims[1])
+			w.NewAttribute(roccom.AttrSpec{Name: attr, Loc: roccom.NodeLoc, Type: hdf.F64, NComp: nc})
+			p.fields[attr] = hdf.BytesF64(s.Data)
+			p.ncomp[attr] = nc
+		}
+		rp, err := roccom.RestorePane(w, id, byID[id])
+		if err != nil {
+			return nil, fmt.Errorf("viz: pane %d: %w", id, err)
+		}
+		p.block = rp.Block
+		panes = append(panes, p)
+	}
+	return panes, nil
+}
+
+func attrLoc(s roccom.IOSet) (byte, bool) {
+	for _, a := range s.Attrs {
+		if a.Name == "location" && len(a.Data) == 1 {
+			return a.Data[0], true
+		}
+	}
+	return 0, false
+}
+
+// commonAttrs returns the attribute names present on every pane, sorted.
+func commonAttrs(panes []*pane) []string {
+	if len(panes) == 0 {
+		return nil
+	}
+	var out []string
+	for name := range panes[0].fields {
+		ok := true
+		for _, p := range panes[1:] {
+			if _, has := p.fields[name]; !has {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,220 @@
+package viz
+
+import (
+	"bufio"
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+
+	"genxio/internal/hdf"
+	"genxio/internal/mesh"
+	"genxio/internal/roccom"
+	"genxio/internal/rt"
+	"genxio/internal/stats"
+)
+
+// writeSnapshot builds a small snapshot file holding nblocks panes of a
+// fluid window (structured if hex, else tetrahedralized) with a scalar and
+// a vector attribute.
+func writeSnapshot(t *testing.T, hex bool, nblocks int) (rt.FS, int, int) {
+	t.Helper()
+	fs := rt.NewMemFS()
+	rc := roccom.New()
+	w, _ := rc.NewWindow("fluid")
+	w.NewAttribute(roccom.AttrSpec{Name: "pressure", Loc: roccom.NodeLoc, Type: hdf.F64, NComp: 1})
+	w.NewAttribute(roccom.AttrSpec{Name: "velocity", Loc: roccom.NodeLoc, Type: hdf.F64, NComp: 3})
+	w.NewAttribute(roccom.AttrSpec{Name: "flags", Loc: roccom.PaneLoc, Type: hdf.I32, NComp: 1})
+	blocks, err := mesh.GenCylinder(mesh.CylinderSpec{
+		RInner: 0.1, ROuter: 0.3, Length: 0.6,
+		BR: 1, BT: nblocks, BZ: 1, NodesPerBlock: 60, Spread: 0.2,
+	}, 1, stats.NewRNG(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nodes, cells int
+	wr, err := hdf.Create(fs, "snap.rhdf", rt.NewWallClock(), hdf.NullProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range blocks {
+		if !hex {
+			b, err = mesh.Tetrahedralize(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		p, err := w.RegisterPane(b.ID, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pr, _ := p.Array("pressure")
+		for i := range pr.F64 {
+			pr.F64[i] = float64(b.ID) + float64(i)*0.25
+		}
+		nodes += b.NumNodes()
+		cells += b.NumElems()
+		sets, err := roccom.PaneIOSets(w, p, "all")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range sets {
+			if err := wr.CreateDataset(s.Name, s.Type, s.Dims, s.Attrs, s.Data); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := wr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return fs, nodes, cells
+}
+
+func export(t *testing.T, fs rt.FS) string {
+	t.Helper()
+	r, err := hdf.Open(fs, "snap.rhdf", rt.NewWallClock(), hdf.NullProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	var b strings.Builder
+	if err := WriteVTK(&b, r, "fluid"); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// parseCounts extracts the POINTS/CELLS/CELL_TYPES header counts and
+// verifies section line counts match them.
+func parseCounts(t *testing.T, vtk string) (points, cells int) {
+	t.Helper()
+	sc := bufio.NewScanner(strings.NewReader(vtk))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var lines []string
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	find := func(prefix string) (int, int) {
+		for i, l := range lines {
+			if strings.HasPrefix(l, prefix) {
+				f := strings.Fields(l)
+				n, err := strconv.Atoi(f[1])
+				if err != nil {
+					t.Fatalf("bad header %q", l)
+				}
+				return i, n
+			}
+		}
+		t.Fatalf("no %s section", prefix)
+		return 0, 0
+	}
+	pi, pn := find("POINTS")
+	for i := pi + 1; i <= pi+pn; i++ {
+		if len(strings.Fields(lines[i])) != 3 {
+			t.Fatalf("point line %d malformed: %q", i, lines[i])
+		}
+	}
+	ci, cn := find("CELLS")
+	for i := ci + 1; i <= ci+cn; i++ {
+		f := strings.Fields(lines[i])
+		n, _ := strconv.Atoi(f[0])
+		if len(f) != n+1 {
+			t.Fatalf("cell line %d malformed: %q", i, lines[i])
+		}
+		for _, idx := range f[1:] {
+			v, _ := strconv.Atoi(idx)
+			if v < 0 || v >= pn {
+				t.Fatalf("cell index %d out of range [0,%d)", v, pn)
+			}
+		}
+	}
+	ti, tn := find("CELL_TYPES")
+	if tn != cn {
+		t.Fatalf("CELL_TYPES %d != CELLS %d", tn, cn)
+	}
+	for i := ti + 1; i <= ti+tn; i++ {
+		if lines[i] != "10" && lines[i] != "12" {
+			t.Fatalf("cell type line %d = %q", i, lines[i])
+		}
+	}
+	return pn, cn
+}
+
+// cellTypeCount counts CELL_TYPES lines equal to want.
+func cellTypeCount(t *testing.T, vtk, want string) int {
+	t.Helper()
+	i := strings.Index(vtk, "CELL_TYPES")
+	if i < 0 {
+		t.Fatal("no CELL_TYPES")
+	}
+	count := 0
+	for _, l := range strings.Split(vtk[i:], "\n")[1:] {
+		if l == want {
+			count++
+		} else if l != "10" && l != "12" {
+			break // end of the section
+		}
+	}
+	return count
+}
+
+func TestVTKStructured(t *testing.T) {
+	fs, nodes, cells := writeSnapshot(t, true, 3)
+	vtk := export(t, fs)
+	pn, cn := parseCounts(t, vtk)
+	if pn != nodes || cn != cells {
+		t.Fatalf("counts %d/%d, want %d/%d", pn, cn, nodes, cells)
+	}
+	if !strings.Contains(vtk, "SCALARS pressure double 1") {
+		t.Fatal("pressure scalars missing")
+	}
+	if !strings.Contains(vtk, "VECTORS velocity double") {
+		t.Fatal("velocity vectors missing")
+	}
+	if strings.Contains(vtk, "flags") {
+		t.Fatal("pane-level int attribute leaked into point data")
+	}
+	if !strings.Contains(vtk, fmt.Sprintf("POINT_DATA %d", nodes)) {
+		t.Fatal("POINT_DATA header wrong")
+	}
+	// All structured cells are hexahedra (type 12).
+	if cellTypeCount(t, vtk, "12") != cells {
+		t.Fatal("hexahedron cell types wrong")
+	}
+}
+
+func TestVTKUnstructured(t *testing.T) {
+	fs, nodes, cells := writeSnapshot(t, false, 2)
+	vtk := export(t, fs)
+	pn, cn := parseCounts(t, vtk)
+	if pn != nodes || cn != cells {
+		t.Fatalf("counts %d/%d, want %d/%d", pn, cn, nodes, cells)
+	}
+	if cellTypeCount(t, vtk, "10") != cells {
+		t.Fatal("tetra cell types wrong")
+	}
+}
+
+func TestVTKValuesSurvive(t *testing.T) {
+	fs, _, _ := writeSnapshot(t, true, 1)
+	vtk := export(t, fs)
+	// pressure[1] of pane 1 is 1 + 0.25 = 1.25 — it must appear in the
+	// scalars section.
+	i := strings.Index(vtk, "LOOKUP_TABLE default")
+	if i < 0 {
+		t.Fatal("no scalars section")
+	}
+	if !strings.Contains(vtk[i:], "\n1.25\n") {
+		t.Fatal("known pressure value missing from VTK output")
+	}
+}
+
+func TestVTKMissingWindow(t *testing.T) {
+	fs, _, _ := writeSnapshot(t, true, 1)
+	r, _ := hdf.Open(fs, "snap.rhdf", rt.NewWallClock(), hdf.NullProfile())
+	defer r.Close()
+	var b strings.Builder
+	if err := WriteVTK(&b, r, "nosuch"); err == nil {
+		t.Fatal("missing window accepted")
+	}
+}

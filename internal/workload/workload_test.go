@@ -1,0 +1,119 @@
+package workload
+
+import (
+	"testing"
+
+	"genxio/internal/mesh"
+)
+
+func TestLabScaleInvariants(t *testing.T) {
+	full := LabScale(1)
+	blocks, err := full.Blocks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's fine-grained distribution: many more blocks than the
+	// largest processor count (64).
+	if len(blocks) != 384 {
+		t.Fatalf("blocks: %d, want 384", len(blocks))
+	}
+	sizes := map[int]bool{}
+	var nodes int
+	for _, b := range blocks {
+		if err := b.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		sizes[b.NumNodes()] = true
+		nodes += b.NumNodes()
+	}
+	if len(sizes) < 10 {
+		t.Fatalf("only %d distinct block sizes; want irregular", len(sizes))
+	}
+	// ~64 MB per snapshot: fluid ~64 B/node + solid ~140 B/node.
+	approxBytes := float64(nodes) * 200
+	if approxBytes < 45e6 || approxBytes > 100e6 {
+		t.Fatalf("snapshot estimate %.1f MB off the paper's ~64 MB", approxBytes/1e6)
+	}
+	if full.Steps != 200 || full.SnapshotEvery != 50 || full.NumSnapshots() != 5 {
+		t.Fatalf("schedule %d/%d/%d", full.Steps, full.SnapshotEvery, full.NumSnapshots())
+	}
+	// Total charged CPU per step is scale-invariant.
+	small := LabScale(0.25)
+	sb, _ := small.Blocks()
+	if len(sb) != 384 {
+		t.Fatalf("small scale changed block count: %d", len(sb))
+	}
+	var smallNodes int
+	for _, b := range sb {
+		smallNodes += b.NumNodes()
+	}
+	fullCPU := float64(nodes) * full.FluidCostPerNode
+	smallCPU := float64(smallNodes) * small.FluidCostPerNode
+	if ratio := fullCPU / smallCPU; ratio < 0.95 || ratio > 1.05 {
+		t.Fatalf("charged CPU not scale-invariant: ratio %.3f", ratio)
+	}
+}
+
+func TestLabScaleClampsBadScale(t *testing.T) {
+	for _, s := range []float64{-1, 0, 2} {
+		spec := LabScale(s)
+		if spec.Cylinder.NodesPerBlock != LabScale(1).Cylinder.NodesPerBlock {
+			t.Fatalf("scale %v not clamped to 1", s)
+		}
+	}
+}
+
+func TestScalabilityFixedPerProc(t *testing.T) {
+	a := Scalability(15, 512<<10)
+	b := Scalability(30, 512<<10)
+	ab, err := a.Blocks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := b.Blocks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ab) != 4*15 || len(bb) != 4*30 {
+		t.Fatalf("blocks %d/%d, want 4 per processor", len(ab), len(bb))
+	}
+	// Fixed data per processor: per-proc node counts equal.
+	nodesOf := func(blocks []*mesh.Block) int {
+		var n int
+		for _, b := range blocks {
+			n += b.NumNodes()
+		}
+		return n
+	}
+	perA := nodesOf(ab) / 15
+	perB := nodesOf(bb) / 30
+	if perA != perB {
+		t.Fatalf("per-proc nodes differ: %d vs %d", perA, perB)
+	}
+	// Uniform block sizes (the extendible-cylinder test is regular).
+	sz := ab[0].NumNodes()
+	for _, blk := range ab {
+		if blk.NumNodes() != sz {
+			t.Fatalf("scalability blocks not uniform: %d vs %d", blk.NumNodes(), sz)
+		}
+	}
+	// Fixed charged work per processor.
+	wa := float64(perA) * a.FluidCostPerNode
+	wb := float64(perB) * b.FluidCostPerNode
+	if wa != wb {
+		t.Fatalf("per-proc charged work differs: %v vs %v", wa, wb)
+	}
+	if Scalability(0, 0).Cylinder.BZ != 1 {
+		t.Fatal("degenerate args not clamped")
+	}
+}
+
+func TestBlocksDeterministic(t *testing.T) {
+	a, _ := LabScale(0.2).Blocks()
+	b, _ := LabScale(0.2).Blocks()
+	for i := range a {
+		if a[i].NumNodes() != b[i].NumNodes() {
+			t.Fatal("workload mesh not deterministic")
+		}
+	}
+}
