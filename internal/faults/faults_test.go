@@ -1,0 +1,141 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"genxio/internal/rt"
+)
+
+func TestFSCreateFailsAtNth(t *testing.T) {
+	plan := NewFSPlan(1, FSRule{Op: OpCreate, PathPrefix: "snap", Nth: 2})
+	fs := WrapFS(rt.NewMemFS(), plan)
+
+	if _, err := fs.Create("snap_a"); err != nil {
+		t.Fatalf("first create on snap_a: %v", err)
+	}
+	if _, err := fs.Create("snap_a"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("second create on snap_a: %v, want injected", err)
+	}
+	// Counters are per path: a different path has its own sequence.
+	if _, err := fs.Create("snap_b"); err != nil {
+		t.Fatalf("first create on snap_b: %v", err)
+	}
+	// Other ops and other prefixes are untouched.
+	if _, err := fs.Create("other"); err != nil {
+		t.Fatalf("create on other: %v", err)
+	}
+	trips := plan.Trips()
+	if len(trips) != 1 || trips[0].Stream != "create:snap_a" || trips[0].Op != 2 {
+		t.Fatalf("trips %v", trips)
+	}
+}
+
+func TestFSWriteENOSPCAndShortWrite(t *testing.T) {
+	plan := NewFSPlan(1,
+		FSRule{Op: OpWrite, PathPrefix: "full", Nth: 1, Msg: "no space left on device"},
+		FSRule{Op: OpWrite, PathPrefix: "short", Nth: 2, ShortBy: 3},
+	)
+	fs := WrapFS(rt.NewMemFS(), plan)
+
+	f, _ := fs.Create("full/x")
+	if _, err := f.WriteAt([]byte("hello"), 0); !errors.Is(err, ErrInjected) {
+		t.Fatalf("want injected ENOSPC, got %v", err)
+	}
+
+	g, _ := fs.Create("short/y")
+	if _, err := g.WriteAt([]byte("abcdefgh"), 0); err != nil {
+		t.Fatalf("first write: %v", err)
+	}
+	n, err := g.WriteAt([]byte("ABCDEFGH"), 8)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want injected short write, got %v", err)
+	}
+	if n != 5 {
+		t.Fatalf("short write landed %d bytes, want 5", n)
+	}
+	if sz, _ := g.Size(); sz != 13 {
+		t.Fatalf("file size %d after short write, want 13", sz)
+	}
+}
+
+func TestFSProbDeterministicPerSeed(t *testing.T) {
+	run := func(seed uint64) []Trip {
+		plan := NewFSPlan(seed, FSRule{Op: OpWrite, Prob: 0.3})
+		fs := WrapFS(rt.NewMemFS(), plan)
+		f, _ := fs.Create("p")
+		for i := 0; i < 50; i++ {
+			f.WriteAt([]byte{byte(i)}, int64(i))
+		}
+		return plan.Trips()
+	}
+	a, b := run(7), run(7)
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("same seed, different trips:\n%v\n%v", a, b)
+	}
+	if len(a) == 0 {
+		t.Fatal("probabilistic rule never fired in 50 ops at p=0.3")
+	}
+	c := run(8)
+	if fmt.Sprint(a) == fmt.Sprint(c) {
+		t.Fatalf("different seeds produced identical trip sequences %v", a)
+	}
+}
+
+func TestNetVerdictNthAndWildcards(t *testing.T) {
+	plan := NewNetPlan(1, NetRule{Src: -1, Dst: 0, Tag: 42, Nth: 2, Drop: true})
+	if v := plan.Verdict(3, 0, 42, 10); v.Drop {
+		t.Fatal("first message dropped, want delivered")
+	}
+	if v := plan.Verdict(3, 0, 42, 10); !v.Drop {
+		t.Fatal("second message delivered, want dropped")
+	}
+	// Independent stream: counter restarts per (src,dst,tag).
+	if v := plan.Verdict(4, 0, 42, 10); v.Drop {
+		t.Fatal("other sender's first message dropped")
+	}
+	if v := plan.Verdict(3, 0, 7, 10); v.Drop {
+		t.Fatal("other tag dropped")
+	}
+	if v := plan.Verdict(3, 1, 42, 10); v.Drop {
+		t.Fatal("other destination dropped")
+	}
+}
+
+func TestNetDelayVerdict(t *testing.T) {
+	plan := NewNetPlan(1, NetRule{Src: 1, Dst: -1, Tag: -1, Nth: 1, Delay: 0.25})
+	v := plan.Verdict(1, 9, 5, 0)
+	if v.Drop || v.Delay != 0.25 {
+		t.Fatalf("verdict %+v", v)
+	}
+}
+
+func TestCrashPlanFiresOnceAtNth(t *testing.T) {
+	plan := NewCrashPlan(1, MidDrain, 3)
+	for i := 1; i <= 2; i++ {
+		if plan.Hit(1, MidDrain) {
+			t.Fatalf("fired at visit %d, want 3", i)
+		}
+	}
+	if plan.Hit(0, MidDrain) || plan.Hit(1, MidBuffer) {
+		t.Fatal("fired for wrong server or point")
+	}
+	if !plan.Hit(1, MidDrain) {
+		t.Fatal("did not fire at 3rd visit")
+	}
+	if !plan.Fired() {
+		t.Fatal("Fired() false after firing")
+	}
+	if plan.Hit(1, MidDrain) {
+		t.Fatal("fired twice")
+	}
+	trips := plan.Trips()
+	if len(trips) != 1 || trips[0].Stream != "crash:1:mid-drain" || trips[0].Op != 3 {
+		t.Fatalf("trips %v", trips)
+	}
+	var nilPlan *CrashPlan
+	if nilPlan.Hit(0, MidDrain) || nilPlan.Fired() {
+		t.Fatal("nil plan fired")
+	}
+}

@@ -1,0 +1,214 @@
+package faults
+
+import (
+	"strings"
+	"sync"
+
+	"genxio/internal/rt"
+)
+
+// FSOp names a filesystem operation class an FSRule can target.
+type FSOp string
+
+// Filesystem operation classes.
+const (
+	OpCreate   FSOp = "create"
+	OpOpen     FSOp = "open"
+	OpRemove   FSOp = "remove"
+	OpWrite    FSOp = "write"
+	OpRead     FSOp = "read"
+	OpTruncate FSOp = "truncate"
+)
+
+// FSRule fails matching filesystem operations. Operation counts are kept
+// per (rule, path), so a rule is deterministic as long as each file is
+// driven by one process — which holds for every writer in this codebase
+// (snapshot files are single-writer by construction).
+type FSRule struct {
+	// Op selects the operation class; empty matches none (rules must be
+	// explicit about what they break).
+	Op FSOp
+	// PathPrefix restricts the rule to files whose name starts with it;
+	// empty matches every file.
+	PathPrefix string
+	// Nth fires the rule on the n-th matching operation (1-based) on each
+	// matching path. Zero fires on every matching operation (subject to
+	// Prob, if set).
+	Nth int
+	// Prob, when positive, fires the rule with this probability per
+	// matching operation, drawn from a per-path RNG seeded by the plan
+	// seed — deterministic per path. Ignored when Nth is set.
+	Prob float64
+	// ShortBy, for OpWrite, makes the write short by this many bytes
+	// instead of failing it outright (an io.ErrShortWrite-style fault:
+	// the tail of the buffer silently never reaches the file).
+	ShortBy int
+	// Msg is the failure detail, e.g. "no space left on device"; a
+	// default is supplied when empty.
+	Msg string
+}
+
+// FSPlan is a set of FSRules plus the seed for probabilistic rules. Safe
+// for concurrent use by any number of rank goroutines.
+type FSPlan struct {
+	Seed  uint64
+	Rules []FSRule
+
+	tripLog
+	mu       sync.Mutex
+	counters map[string]int
+	rngs     map[string]*streamRNG
+}
+
+// NewFSPlan returns an empty plan with the given seed; add rules to it
+// before wrapping a filesystem.
+func NewFSPlan(seed uint64, rules ...FSRule) *FSPlan {
+	return &FSPlan{Seed: seed, Rules: rules}
+}
+
+// check reports whether some rule fires for (op, path), returning the rule.
+func (p *FSPlan) check(op FSOp, path string) (*FSRule, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.counters == nil {
+		p.counters = make(map[string]int)
+		p.rngs = make(map[string]*streamRNG)
+	}
+	for i := range p.Rules {
+		r := &p.Rules[i]
+		if r.Op != op {
+			continue
+		}
+		if r.PathPrefix != "" && !strings.HasPrefix(path, r.PathPrefix) {
+			continue
+		}
+		stream := string(op) + ":" + path
+		key := stream + "#" + itoa(i)
+		p.counters[key]++
+		n := p.counters[key]
+		fire := false
+		switch {
+		case r.Nth > 0:
+			fire = n == r.Nth
+		case r.Prob > 0:
+			rng, ok := p.rngs[key]
+			if !ok {
+				rng = newStreamRNG(p.Seed, key)
+				p.rngs[key] = rng
+			}
+			fire = rng.float64() < r.Prob
+		default:
+			fire = true
+		}
+		if fire {
+			p.record(stream, n)
+			return r, true
+		}
+	}
+	return nil, false
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+func (r *FSRule) err(op FSOp, path string) error {
+	msg := r.Msg
+	if msg == "" {
+		msg = "no space left on device"
+	}
+	return injectedErr("faults: %s %s: %s", op, path, msg)
+}
+
+// WrapFS returns a filesystem that behaves like inner except where plan
+// injects failures. Wrapping is cheap; one plan may back any number of
+// wrapped views.
+func WrapFS(inner rt.FS, plan *FSPlan) rt.FS {
+	return &faultFS{inner: inner, plan: plan}
+}
+
+type faultFS struct {
+	inner rt.FS
+	plan  *FSPlan
+}
+
+func (f *faultFS) Create(name string) (rt.File, error) {
+	if r, ok := f.plan.check(OpCreate, name); ok {
+		return nil, r.err(OpCreate, name)
+	}
+	file, err := f.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{inner: file, plan: f.plan}, nil
+}
+
+func (f *faultFS) Open(name string) (rt.File, error) {
+	if r, ok := f.plan.check(OpOpen, name); ok {
+		return nil, r.err(OpOpen, name)
+	}
+	file, err := f.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{inner: file, plan: f.plan}, nil
+}
+
+func (f *faultFS) Remove(name string) error {
+	if r, ok := f.plan.check(OpRemove, name); ok {
+		return r.err(OpRemove, name)
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *faultFS) List(prefix string) ([]string, error) { return f.inner.List(prefix) }
+func (f *faultFS) Stat(name string) (int64, error)      { return f.inner.Stat(name) }
+
+type faultFile struct {
+	inner rt.File
+	plan  *FSPlan
+}
+
+func (f *faultFile) Name() string         { return f.inner.Name() }
+func (f *faultFile) Size() (int64, error) { return f.inner.Size() }
+func (f *faultFile) Close() error         { return f.inner.Close() }
+
+func (f *faultFile) ReadAt(p []byte, off int64) (int, error) {
+	if r, ok := f.plan.check(OpRead, f.inner.Name()); ok {
+		return 0, r.err(OpRead, f.inner.Name())
+	}
+	return f.inner.ReadAt(p, off)
+}
+
+func (f *faultFile) WriteAt(p []byte, off int64) (int, error) {
+	if r, ok := f.plan.check(OpWrite, f.inner.Name()); ok {
+		if r.ShortBy > 0 && r.ShortBy < len(p) {
+			// Short write: the head lands, the tail silently doesn't.
+			n, err := f.inner.WriteAt(p[:len(p)-r.ShortBy], off)
+			if err != nil {
+				return n, err
+			}
+			return n, injectedErr("faults: write %s: short write (%d of %d bytes)",
+				f.inner.Name(), n, len(p))
+		}
+		return 0, r.err(OpWrite, f.inner.Name())
+	}
+	return f.inner.WriteAt(p, off)
+}
+
+func (f *faultFile) Truncate(size int64) error {
+	if r, ok := f.plan.check(OpTruncate, f.inner.Name()); ok {
+		return r.err(OpTruncate, f.inner.Name())
+	}
+	return f.inner.Truncate(size)
+}

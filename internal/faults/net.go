@@ -1,0 +1,98 @@
+package faults
+
+import (
+	"fmt"
+	"sync"
+
+	"genxio/internal/mpi"
+)
+
+// NetRule drops or delays matching transport-level messages. Counters and
+// probabilistic draws are scoped per (src, dst, tag) stream; since each
+// such stream is emitted by a single goroutine in FIFO order, a rule fires
+// at the same operation of the same stream on every run, regardless of how
+// the ranks are scheduled.
+type NetRule struct {
+	// Src, Dst restrict the rule to one sender / receiver global rank;
+	// -1 is a wildcard.
+	Src, Dst int
+	// Tag restricts the rule to one message tag; -1 is a wildcard.
+	Tag int
+	// Nth fires on the n-th matching message (1-based) of each matching
+	// stream. Zero fires on every message (subject to Prob, if set).
+	Nth int
+	// Prob, when positive, fires with this probability per message, drawn
+	// from a per-stream RNG seeded by the plan seed. Ignored when Nth is
+	// set.
+	Prob float64
+	// Drop discards the message: it is never delivered, as if the wire
+	// ate it. The receiver sees nothing; recovery is the client's job.
+	Drop bool
+	// Delay stalls the sender this many seconds before delivery (a slow
+	// link). FIFO order is preserved because the sender itself stalls.
+	Delay float64
+}
+
+// NetPlan is a set of NetRules for a ChanWorld's send hook. Safe for
+// concurrent use by all rank goroutines.
+type NetPlan struct {
+	Seed  uint64
+	Rules []NetRule
+
+	tripLog
+	mu       sync.Mutex
+	counters map[string]int
+	rngs     map[string]*streamRNG
+}
+
+// NewNetPlan returns a plan with the given seed and rules.
+func NewNetPlan(seed uint64, rules ...NetRule) *NetPlan {
+	return &NetPlan{Seed: seed, Rules: rules}
+}
+
+// Verdict decides the fate of one message; it implements the logic behind
+// Hook and is exposed for direct testing.
+func (p *NetPlan) Verdict(src, dst, tag, size int) mpi.SendVerdict {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.counters == nil {
+		p.counters = make(map[string]int)
+		p.rngs = make(map[string]*streamRNG)
+	}
+	for i := range p.Rules {
+		r := &p.Rules[i]
+		if (r.Src >= 0 && r.Src != src) || (r.Dst >= 0 && r.Dst != dst) || (r.Tag >= 0 && r.Tag != tag) {
+			continue
+		}
+		stream := fmt.Sprintf("send:%d->%d:%d", src, dst, tag)
+		key := fmt.Sprintf("%s#%d", stream, i)
+		p.counters[key]++
+		n := p.counters[key]
+		fire := false
+		switch {
+		case r.Nth > 0:
+			fire = n == r.Nth
+		case r.Prob > 0:
+			rng, ok := p.rngs[key]
+			if !ok {
+				rng = newStreamRNG(p.Seed, key)
+				p.rngs[key] = rng
+			}
+			fire = rng.float64() < r.Prob
+		default:
+			fire = true
+		}
+		if fire {
+			p.record(stream, n)
+			return mpi.SendVerdict{Drop: r.Drop, Delay: r.Delay}
+		}
+	}
+	return mpi.SendVerdict{}
+}
+
+// Hook adapts the plan to mpi.ChanWorld's send hook.
+func (p *NetPlan) Hook() mpi.SendHook {
+	return func(src, dst, tag, size int) mpi.SendVerdict {
+		return p.Verdict(src, dst, tag, size)
+	}
+}

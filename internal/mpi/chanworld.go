@@ -3,6 +3,7 @@ package mpi
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"genxio/internal/rt"
 )
@@ -13,9 +14,15 @@ import (
 // (tests, examples, cmd/genx); use internal/cluster for the simulated
 // platforms.
 type ChanWorld struct {
-	fs  rt.FS
-	ppn int // ranks per (pretend) node, for Ctx.Node()
+	fs   rt.FS
+	ppn  int // ranks per (pretend) node, for Ctx.Node()
+	hook SendHook
 }
+
+// SetSendHook installs a fault-injection hook consulted on every
+// transport-level send. It must be set before Run; the zero verdict
+// delivers normally.
+func (w *ChanWorld) SetSendHook(h SendHook) { w.hook = h }
 
 // NewChanWorld returns a world whose ranks share the filesystem fs and are
 // grouped procsPerNode ranks per node (>= 1).
@@ -49,7 +56,7 @@ func (w *ChanWorld) Run(n int, main func(Ctx) error) error {
 					errs[r] = fmt.Errorf("mpi: rank %d panicked: %v", r, p)
 				}
 			}()
-			ep := &chanEndpoint{rank: r, inboxes: inboxes}
+			ep := &chanEndpoint{rank: r, inboxes: inboxes, hook: w.hook}
 			ctx := &chanCtx{
 				comm:  NewWorldComm(ep),
 				clock: clock,
@@ -110,12 +117,23 @@ func (t *chanTaskCtx) FS() rt.FS       { return t.fs }
 type chanEndpoint struct {
 	rank    int
 	inboxes []*inbox
+	hook    SendHook
 }
 
 func (e *chanEndpoint) GlobalRank() int { return e.rank }
 func (e *chanEndpoint) NumRanks() int   { return len(e.inboxes) }
 
 func (e *chanEndpoint) Send(dst int, m *Message) {
+	if e.hook != nil {
+		v := e.hook(e.rank, dst, m.Tag, len(m.Data))
+		if v.Delay > 0 {
+			// Stall the sender itself so per-stream FIFO order holds.
+			time.Sleep(time.Duration(v.Delay * float64(time.Second)))
+		}
+		if v.Drop {
+			return
+		}
+	}
 	cp := *m
 	cp.Data = append([]byte(nil), m.Data...)
 	e.inboxes[dst].put(&cp)

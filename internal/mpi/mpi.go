@@ -68,6 +68,21 @@ type Endpoint interface {
 	TryProbeMatch(pred func(*Message) bool) (*Message, bool)
 }
 
+// SendVerdict tells a transport what to do with one outgoing message.
+// The zero value delivers normally.
+type SendVerdict struct {
+	// Drop discards the message without delivering it.
+	Drop bool
+	// Delay stalls the sender this many seconds before delivery, so
+	// per-stream FIFO order is preserved.
+	Delay float64
+}
+
+// SendHook inspects every transport-level send of a world and may drop or
+// delay it (fault injection, internal/faults). Hooks are called from rank
+// goroutines concurrently and must be safe for concurrent use.
+type SendHook func(src, dst, tag, size int) SendVerdict
+
 // Status describes a matched message.
 type Status struct {
 	Source int // rank within the communicator

@@ -1,0 +1,101 @@
+package rochdf
+
+// Fault-injection tests: disk-full and short-write errors injected via
+// internal/faults must surface through both Rochdf variants. The baseline
+// fails the faulting WriteAttribute directly; T-Rochdf's background thread
+// hits the error asynchronously, so it must surface at the next snapshot's
+// WriteAttribute (which drains the previous one) or at Sync.
+
+import (
+	"errors"
+	"testing"
+
+	"genxio/internal/faults"
+	"genxio/internal/hdf"
+	"genxio/internal/mpi"
+	"genxio/internal/rt"
+)
+
+func TestThreadedDrainErrorSurfacesAtNextSnapshot(t *testing.T) {
+	// The first write touching rank 0's s0 file fails (disk full). The
+	// faulting snapshot's WriteAttribute must still return nil — the write
+	// only buffers — and the error must surface when the next snapshot
+	// blocks on the previous one's drain.
+	plan := faults.NewFSPlan(1, faults.FSRule{
+		Op: faults.OpWrite, PathPrefix: "tr/s0_p00000", Nth: 1, Msg: "disk full",
+	})
+	fs := faults.WrapFS(rt.NewMemFS(), plan)
+	world := mpi.NewChanWorld(fs, 1)
+	err := world.Run(1, func(ctx mpi.Ctx) error {
+		h := New(ctx, Config{Profile: hdf.NullProfile(), Threaded: true})
+		defer h.Close()
+		_, w := buildWindow(t, ctx.Comm().Rank(), 2)
+		if err := h.WriteAttribute("tr/s0", w, "all", 0, 0); err != nil {
+			return errors.New("faulting snapshot's write failed synchronously: " + err.Error())
+		}
+		err := h.WriteAttribute("tr/s1", w, "all", 1, 1)
+		if err == nil {
+			return errors.New("drain error never surfaced at next snapshot")
+		}
+		if !errors.Is(err, faults.ErrInjected) {
+			return errors.New("unexpected error: " + err.Error())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Trips()) == 0 {
+		t.Fatal("fault plan never tripped")
+	}
+}
+
+func TestThreadedDrainErrorSurfacesAtSync(t *testing.T) {
+	// Fault on the last snapshot before sync: no later WriteAttribute
+	// drains it, so Sync is the barrier where the error must appear.
+	plan := faults.NewFSPlan(1, faults.FSRule{
+		Op: faults.OpWrite, PathPrefix: "ts/s1_p00000", Nth: 1, Msg: "disk full",
+	})
+	fs := faults.WrapFS(rt.NewMemFS(), plan)
+	world := mpi.NewChanWorld(fs, 1)
+	err := world.Run(1, func(ctx mpi.Ctx) error {
+		h := New(ctx, Config{Profile: hdf.NullProfile(), Threaded: true})
+		defer h.Close()
+		_, w := buildWindow(t, ctx.Comm().Rank(), 2)
+		if err := h.WriteAttribute("ts/s0", w, "all", 0, 0); err != nil {
+			return err
+		}
+		if err := h.WriteAttribute("ts/s1", w, "all", 1, 1); err != nil {
+			return errors.New("healthy s0 drain reported an error: " + err.Error())
+		}
+		if err := h.Sync(); !errors.Is(err, faults.ErrInjected) {
+			return errors.New("sync did not surface the drain error")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnthreadedWriteFailsSynchronously(t *testing.T) {
+	// The baseline variant writes inside write_attribute, so the injected
+	// failure must come back from the faulting call itself.
+	plan := faults.NewFSPlan(1, faults.FSRule{
+		Op: faults.OpWrite, PathPrefix: "uw/", Nth: 1, Msg: "disk full",
+	})
+	fs := faults.WrapFS(rt.NewMemFS(), plan)
+	world := mpi.NewChanWorld(fs, 1)
+	err := world.Run(1, func(ctx mpi.Ctx) error {
+		h := New(ctx, Config{Profile: hdf.NullProfile()})
+		defer h.Close()
+		_, w := buildWindow(t, ctx.Comm().Rank(), 2)
+		if err := h.WriteAttribute("uw/s0", w, "all", 0, 0); !errors.Is(err, faults.ErrInjected) {
+			return errors.New("synchronous write did not fail with the injected error")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

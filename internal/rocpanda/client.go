@@ -1,11 +1,19 @@
 package rocpanda
 
 import (
+	"errors"
 	"fmt"
 
 	"genxio/internal/mpi"
 	"genxio/internal/roccom"
 )
+
+// ErrIncompleteRestart reports that a scan-based restart could not recover
+// every requested pane: the snapshot is incomplete, typically because a
+// server died mid-snapshot and left a file without a directory, or died
+// with blocks still buffered in memory. Callers should fall back to the
+// previous (complete) snapshot.
+var ErrIncompleteRestart = errors.New("rocpanda: snapshot incomplete")
 
 // Metrics accumulates a client's application-visible I/O costs.
 type Metrics struct {
@@ -15,6 +23,8 @@ type Metrics struct {
 	WriteCalls   int
 	ReadCalls    int
 	BytesOut     int64 // payload bytes shipped to the server
+	Retries      int   // operations retried after a server wait timed out
+	Failovers    int   // servers this client declared dead
 }
 
 // Client is a compute process's handle to the Rocpanda service. It
@@ -23,11 +33,20 @@ type Client struct {
 	ctx        mpi.Ctx
 	world      mpi.Comm // world communicator (servers reachable here)
 	comm       mpi.Comm // client communicator (the application's world)
-	myServer   int      // world rank of this client's server
+	myServer   int      // world rank of this client's originally assigned server
 	srvRanks   []int    // world ranks of all servers
 	numServers int
 	blockOH    float64 // per-block client-side protocol cost
 	shutdown   bool
+
+	// Fault tolerance (see failover.go).
+	nClients  int          // client-communicator size
+	myIdx     int          // this client's index in the client communicator
+	timeout   float64      // RetryTimeout; 0 disables
+	poll      float64      // initial poll interval of timed waits
+	maxFail   int          // failover attempts allowed per operation
+	dead      map[int]bool // server idx -> believed dead
+	contacted []int        // world ranks of servers this client announced itself to
 
 	m Metrics
 }
@@ -75,25 +94,32 @@ func (c *Client) WriteAttribute(file string, w *roccom.Window, attr string, tm f
 		Time: tm, Step: int32(step),
 		NBlocks: int32(len(payloads)), Bytes: bytes,
 	}
-	sendT0 := c.ctx.Clock().Now()
-	c.world.Send(c.myServer, tagWriteHdr, encodeWriteHdr(hdr))
-	for _, pl := range payloads {
-		if c.blockOH > 0 {
-			c.ctx.Clock().Compute(c.blockOH)
+	enc := encodeWriteHdr(hdr)
+	// Ship header and blocks, then wait for the ack, which arrives when
+	// the server has safely buffered (or written) everything; our buffers
+	// are reusable as soon as the ack lands. A timed-out ack fails the
+	// whole write over to a surviving server and resends it from scratch
+	// (blocks may then exist in two servers' files; restart dedupes).
+	return c.withFailover("write "+file, func(target int) bool {
+		sendT0 := c.ctx.Clock().Now()
+		c.world.Send(target, tagWriteHdr, enc)
+		for _, pl := range payloads {
+			if c.blockOH > 0 {
+				c.ctx.Clock().Compute(c.blockOH)
+			}
+			c.world.Send(target, tagWriteBlock, pl)
 		}
-		c.world.Send(c.myServer, tagWriteBlock, pl)
-	}
-	sendT1 := c.ctx.Clock().Now()
-	// The ack arrives when the server has safely buffered (or written)
-	// everything; our buffers are reusable now either way.
-	if _, st := c.world.Recv(c.myServer, tagWriteAck); st.Size != 0 {
-		return fmt.Errorf("rocpanda: unexpected ack payload")
-	}
-	if debugWrites && c.comm.Rank() < 2 {
-		fmt.Printf("DEBUG cl%d write %s/%s: enc=%.3f send=%.3f ack=%.3f\n",
-			c.comm.Rank(), file, w.Name, sendT0-t0, sendT1-sendT0, c.ctx.Clock().Now()-sendT1)
-	}
-	return nil
+		sendT1 := c.ctx.Clock().Now()
+		_, st, ok := c.recvTimeout(target, tagWriteAck)
+		if ok && st.Size != 0 {
+			panic("rocpanda: unexpected ack payload")
+		}
+		if debugWrites && c.comm.Rank() < 2 {
+			fmt.Printf("DEBUG cl%d write %s/%s: enc=%.3f send=%.3f ack=%.3f\n",
+				c.comm.Rank(), file, w.Name, sendT0-t0, sendT1-sendT0, c.ctx.Clock().Now()-sendT1)
+		}
+		return ok
+	})
 }
 
 // ReadAttribute implements roccom.IOService: collective restart. The
@@ -110,24 +136,47 @@ func (c *Client) ReadAttribute(file string, w *roccom.Window, attr string) error
 		c.m.ReadCalls++
 	}()
 
+	// Agree on the surviving servers first (collective), so every client
+	// sends to the same set and the round-robin file assignment covers
+	// every snapshot file even in degraded mode.
+	if c.timeout > 0 {
+		c.shareDeaths()
+	}
+	alive := c.aliveIdxs()
+	if len(alive) == 0 {
+		return fmt.Errorf("rocpanda: restart of %q: all %d servers failed", file, c.numServers)
+	}
+
 	ids := w.PaneIDs()
-	req := readReq{File: file, Window: w.Name, Attr: attr, PaneIDs: make([]int32, len(ids))}
+	req := readReq{File: file, Window: w.Name, Attr: attr,
+		PaneIDs: make([]int32, len(ids)), Alive: make([]int32, len(alive))}
 	for i, id := range ids {
 		req.PaneIDs[i] = int32(id)
 	}
+	for i, si := range alive {
+		req.Alive[i] = int32(si)
+	}
 	enc := encodeReadReq(req)
-	for _, sr := range c.srvRanks {
-		c.world.Send(sr, tagReadReq, enc)
+	for _, si := range alive {
+		c.world.Send(c.srvRanks[si], tagReadReq, enc)
 	}
 
 	want := make(map[int]bool, len(ids))
 	for _, id := range ids {
 		want[id] = true
 	}
-	got := 0
+	// A pane can arrive more than once: a client that timed out on a
+	// slow-but-alive server resent its write elsewhere, duplicating the
+	// pane across two servers' files. First arrival wins (the copies are
+	// identical); recovered panes are counted once.
+	recovered := make(map[int]bool, len(ids))
 	dones := 0
-	for dones < c.numServers {
-		data, st := c.world.Recv(mpi.AnySource, mpi.AnyTag)
+	for dones < len(alive) {
+		data, st, ok := c.recvReadMsg()
+		if !ok {
+			return fmt.Errorf("rocpanda: restart of %q stalled (%d of %d servers reported)",
+				file, dones, len(alive))
+		}
 		switch st.Tag {
 		case tagReadDone:
 			dones++
@@ -143,19 +192,57 @@ func (c *Client) ReadAttribute(file string, w *roccom.Window, attr string) error
 			if !ok || !want[paneID] {
 				return fmt.Errorf("rocpanda: unsolicited restart block %q", sets[0].Name)
 			}
+			if recovered[paneID] {
+				continue
+			}
 			if err := applyRestart(w, paneID, attr, sets); err != nil {
 				return err
 			}
-			got++
+			recovered[paneID] = true
 		default:
 			return fmt.Errorf("rocpanda: unexpected message tag %d during restart", st.Tag)
 		}
 	}
-	if got != len(ids) {
-		return fmt.Errorf("rocpanda: restart recovered %d of %d panes of window %q from %q",
-			got, len(ids), w.Name, file)
+	if len(recovered) != len(ids) {
+		return fmt.Errorf("rocpanda: recovered %d of %d panes of window %q from %q: %w",
+			len(recovered), len(ids), w.Name, file, ErrIncompleteRestart)
 	}
 	return nil
+}
+
+// recvReadMsg receives the next restart-protocol message. In fault-
+// tolerant mode it polls only the restart tags — a stale write ack from a
+// failed-over operation must not be misread — and gives up after an
+// extended stall (servers may legitimately spend a while scanning files,
+// so the budget is far above RetryTimeout).
+func (c *Client) recvReadMsg() ([]byte, mpi.Status, bool) {
+	if c.timeout <= 0 {
+		data, st := c.world.Recv(mpi.AnySource, mpi.AnyTag)
+		return data, st, true
+	}
+	clock := c.ctx.Clock()
+	deadline := clock.Now() + 20*c.timeout
+	poll := c.poll
+	for {
+		for _, tag := range [2]int{tagReadBlock, tagReadDone} {
+			if _, ok := c.world.Iprobe(mpi.AnySource, tag); ok {
+				data, st := c.world.Recv(mpi.AnySource, tag)
+				return data, st, true
+			}
+		}
+		now := clock.Now()
+		if now >= deadline {
+			return nil, mpi.Status{}, false
+		}
+		sleep := poll
+		if now+sleep > deadline {
+			sleep = deadline - now
+		}
+		clock.Sleep(sleep)
+		if poll < c.timeout/2 {
+			poll *= 2
+		}
+	}
 }
 
 // applyRestart installs one pane's restart data into the window: full
@@ -200,9 +287,17 @@ func (c *Client) Sync() error {
 	// being ingested (which would charge the drain to that write's
 	// visible time).
 	c.comm.Barrier()
-	c.world.Send(c.myServer, tagSync, nil)
-	c.world.Recv(c.myServer, tagSyncAck)
-	return nil
+	if c.timeout > 0 {
+		// Coordinator agreement: merge death observations so a client
+		// whose server died since its last contact learns it here instead
+		// of through its own timeout.
+		c.shareDeaths()
+	}
+	return c.withFailover("sync", func(target int) bool {
+		c.world.Send(target, tagSync, nil)
+		_, _, ok := c.recvTimeout(target, tagSyncAck)
+		return ok
+	})
 }
 
 // Shutdown is collective over the clients: it drains the servers and
@@ -216,9 +311,36 @@ func (c *Client) Shutdown() error {
 	// Collective: no client may trigger its server's final drain while a
 	// peer is still mid-operation.
 	c.comm.Barrier()
-	c.world.Send(c.myServer, tagShutdown, nil)
-	c.world.Recv(c.myServer, tagShutdownAck)
+	if c.timeout > 0 {
+		c.shareDeaths()
+	}
+	// Release every server this client ever announced itself to, dead or
+	// not: sends never block on the receiver, and a server we wrongly
+	// declared dead still holds us in its served set — it must get our
+	// shutdown or it would wait forever. Acks are awaited only from
+	// servers believed alive.
+	for _, t := range c.contacted {
+		c.world.Send(t, tagShutdown, nil)
+	}
+	for _, t := range c.contacted {
+		if c.deadRank(t) {
+			continue
+		}
+		if _, _, ok := c.recvTimeout(t, tagShutdownAck); !ok {
+			c.markDeadRank(t) // died during shutdown; nothing left to do
+		}
+	}
 	return nil
+}
+
+// deadRank reports whether the server at this world rank is believed dead.
+func (c *Client) deadRank(worldRank int) bool {
+	for i, r := range c.srvRanks {
+		if r == worldRank {
+			return c.dead[i]
+		}
+	}
+	return false
 }
 
 // Module returns a roccom.Module exposing this client as the

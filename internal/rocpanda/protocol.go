@@ -17,6 +17,12 @@ const (
 	tagSyncAck
 	tagShutdown
 	tagShutdownAck
+	// tagAdopt tells a server that the sending client now belongs to it:
+	// the client's original server died (or stopped responding) and the
+	// coordinator's deterministic reassignment picked this one. The
+	// server adds the client to its served set, so sync and shutdown
+	// accounting include it (degraded mode).
+	tagAdopt
 )
 
 // writeHdr announces a collective write from one client: nblocks block
@@ -32,11 +38,15 @@ type writeHdr struct {
 }
 
 // readReq asks the servers for the panes this client owns in a snapshot.
+// Alive lists the server indices the clients believe are alive; the
+// snapshot files are assigned round-robin over that set, so a degraded
+// read still covers every file. Empty means all servers.
 type readReq struct {
 	File    string
 	Window  string
 	Attr    string
 	PaneIDs []int32
+	Alive   []int32
 }
 
 func encodeWriteHdr(h writeHdr) []byte {
@@ -76,6 +86,10 @@ func encodeReadReq(r readReq) []byte {
 	for _, id := range r.PaneIDs {
 		b = binary.LittleEndian.AppendUint32(b, uint32(id))
 	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(r.Alive)))
+	for _, s := range r.Alive {
+		b = binary.LittleEndian.AppendUint32(b, uint32(s))
+	}
 	return b
 }
 
@@ -90,6 +104,13 @@ func decodeReadReq(b []byte) (readReq, error) {
 		r.PaneIDs = make([]int32, n)
 		for i := range r.PaneIDs {
 			r.PaneIDs[i] = int32(c.u32())
+		}
+	}
+	na := int(c.u32())
+	if c.err == nil && na >= 0 && na <= len(b) {
+		r.Alive = make([]int32, na)
+		for i := range r.Alive {
+			r.Alive[i] = int32(c.u32())
 		}
 	}
 	if c.err != nil {

@@ -31,6 +31,7 @@ package rocpanda
 import (
 	"fmt"
 
+	"genxio/internal/faults"
 	"genxio/internal/hdf"
 	"genxio/internal/mpi"
 )
@@ -83,8 +84,28 @@ type Config struct {
 	// servers.
 	Compress bool
 	// OnServerDone, if set, receives each server's metrics when it shuts
-	// down (called on the server's goroutine/process).
+	// down (called on the server's goroutine/process). It is also called
+	// when the server dies to an injected crash, with Crashed set.
 	OnServerDone func(ServerMetrics)
+
+	// Fault tolerance (internal/faults).
+
+	// Crash, if set, kills the matching server at the configured point of
+	// its service loop — deterministic fault injection for exercising the
+	// failover and restart paths.
+	Crash *faults.CrashPlan
+	// RetryTimeout, when positive, bounds every client-side wait for a
+	// server response (seconds). A timed-out wait declares that server
+	// dead and fails the client over to a surviving server, per the
+	// coordinator's deterministic reassignment. Zero disables timeouts:
+	// a dead server then hangs its clients, as plain MPI would.
+	RetryTimeout float64
+	// RetryPoll is the initial poll interval of a timed wait (seconds),
+	// doubling up to RetryTimeout/8; default 0.2ms.
+	RetryPoll float64
+	// MaxFailovers bounds how many times a single operation may fail
+	// over before giving up; default: the number of servers.
+	MaxFailovers int
 }
 
 // serverRanks returns the global ranks acting as servers.
@@ -182,13 +203,29 @@ func Init(ctx mpi.Ctx, cfg Config) (*Client, error) {
 			myIdx = j
 		}
 	}
+	poll := cfg.RetryPoll
+	if poll <= 0 {
+		poll = 2e-4
+	}
+	maxFail := cfg.MaxFailovers
+	if maxFail <= 0 {
+		maxFail = m
+	}
+	origServer := srvRanks[assign(myIdx)]
 	return &Client{
 		ctx:        ctx,
 		world:      world,
 		comm:       sub,
-		myServer:   srvRanks[assign(myIdx)],
+		myServer:   origServer,
 		srvRanks:   srvRanks,
 		numServers: m,
 		blockOH:    cfg.PerBlockOverhead,
+		nClients:   n,
+		myIdx:      myIdx,
+		timeout:    cfg.RetryTimeout,
+		poll:       poll,
+		maxFail:    maxFail,
+		dead:       make(map[int]bool),
+		contacted:  []int{origServer},
 	}, nil
 }

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"genxio/internal/faults"
 	"genxio/internal/hdf"
 	"genxio/internal/mpi"
 	"genxio/internal/roccom"
@@ -18,9 +19,17 @@ type ServerMetrics struct {
 	BytesWritten   int64 // payload bytes drained to files
 	FilesCreated   int
 	MaxBufBytes    int64
-	Overflows      int // synchronous partial drains due to capacity
-	ReadsServed    int // restart blocks shipped to clients
+	Overflows      int  // synchronous partial drains due to capacity
+	ReadsServed    int  // restart blocks shipped to clients
+	ClientsAdopted int  // clients inherited from failed servers (degraded mode)
+	FilesSkipped   int  // unreadable snapshot files skipped during restart scans
+	Crashed        bool // the server died to an injected crash
 }
+
+// serverCrashed is the panic sentinel of an injected server crash; run
+// recovers it and returns without draining or acknowledging anything,
+// simulating process death.
+type serverCrashed struct{}
 
 // pendingBlock is one buffered data block awaiting drain.
 type pendingBlock struct {
@@ -36,6 +45,7 @@ type readRound struct {
 	attr    string
 	wantAll map[int]int // (paneID) -> world rank of requesting client
 	reqs    int
+	alive   []int // server indices sharing the scan (agreed by the clients)
 }
 
 // server is the Rocpanda server routine state (Figure 2's I/O processor).
@@ -64,6 +74,17 @@ type server struct {
 // writes (responsiveness); with clean buffers it blocks in probe, leaving
 // the CPU to the operating system.
 func (s *server) run() {
+	// An injected crash (internal/faults) panics with serverCrashed from
+	// deep inside the loop; catching it here and returning — no drain, no
+	// acks, snapshot files left without directories — is how this backend
+	// models the process dying.
+	defer func() {
+		if r := recover(); r != nil {
+			if _, died := r.(serverCrashed); !died {
+				panic(r)
+			}
+		}
+	}()
 	s.writers = make(map[string]*hdf.Writer)
 	s.metaDone = make(map[string]bool)
 	s.reads = make(map[string]*readRound)
@@ -103,6 +124,15 @@ func (s *server) handle(st mpi.Status) {
 		s.world.Recv(st.Source, tagShutdown)
 		s.shutdown++
 		s.shutdownQueue = append(s.shutdownQueue, st.Source)
+	case tagAdopt:
+		s.world.Recv(st.Source, tagAdopt)
+		for _, c := range s.myClients {
+			if c == st.Source {
+				return // already ours
+			}
+		}
+		s.myClients = append(s.myClients, st.Source)
+		s.m.ClientsAdopted++
 	default:
 		panic(fmt.Sprintf("rocpanda: server %d got unexpected tag %d from %d", s.idx, st.Tag, st.Source))
 	}
@@ -137,6 +167,7 @@ func (s *server) handleWrite(src int) {
 		s.buf = append(s.buf, blk)
 		s.bufBytes += blk.bytes
 		s.m.BlocksBuffered++
+		s.maybeCrash(faults.MidBuffer)
 		if s.bufBytes > s.m.MaxBufBytes {
 			s.m.MaxBufBytes = s.bufBytes
 		}
@@ -163,12 +194,21 @@ func (s *server) fileName(base string) string {
 	return fmt.Sprintf("%s_s%03d.rhdf", base, s.idx)
 }
 
+// maybeCrash dies at point if the injected crash plan says so.
+func (s *server) maybeCrash(point faults.CrashPoint) {
+	if s.cfg.Crash.Hit(s.idx, point) {
+		s.m.Crashed = true
+		panic(serverCrashed{})
+	}
+}
+
 // drainOne writes the oldest buffered block to its file.
 func (s *server) drainOne() {
 	blk := s.buf[0]
 	s.buf = s.buf[1:]
 	s.bufBytes -= blk.bytes
 	s.writeBlock(blk)
+	s.maybeCrash(faults.MidDrain)
 }
 
 func (s *server) drainAll() {
@@ -202,6 +242,7 @@ func (s *server) writeBlock(blk pendingBlock) {
 		s.writers[blk.fname] = w
 	}
 	if !s.metaDone[blk.fname] {
+		s.maybeCrash(faults.BeforeMeta)
 		s.metaDone[blk.fname] = true
 		err := w.CreateDataset("_meta", hdf.U8, []int64{0}, []hdf.Attr{
 			hdf.F64Attr("time", blk.time),
@@ -257,6 +298,27 @@ func (s *server) handleReadReq(src int) {
 	for _, id := range req.PaneIDs {
 		round.wantAll[int(id)] = src
 	}
+	// The clients agree on the surviving-server set before asking (an
+	// allreduce in ReadAttribute), so every request carries the same
+	// alive list; keep the intersection anyway so a disagreement can only
+	// shrink a server's share, never leave a file scanned twice.
+	if round.reqs == 0 {
+		for _, a := range req.Alive {
+			round.alive = append(round.alive, int(a))
+		}
+	} else if len(req.Alive) > 0 {
+		keep := make(map[int]bool, len(req.Alive))
+		for _, a := range req.Alive {
+			keep[int(a)] = true
+		}
+		var merged []int
+		for _, a := range round.alive {
+			if keep[a] {
+				merged = append(merged, a)
+			}
+		}
+		round.alive = merged
+	}
 	round.reqs++
 	if round.reqs < len(s.allClients) {
 		return
@@ -270,18 +332,35 @@ func (s *server) serveRead(file, window string, round *readRound) {
 	s.drainAll()
 	s.closeWriters("")
 
-	names, err := s.ctx.FS().List(file + "_s")
-	if err != nil {
-		panic(err)
+	// Snapshot files are dealt round-robin over the servers sharing the
+	// scan — all of them normally, the agreed survivors in degraded mode.
+	alive := round.alive
+	if len(alive) == 0 {
+		alive = make([]int, s.numServers)
+		for i := range alive {
+			alive[i] = i
+		}
 	}
-	for i, name := range names {
-		if i%s.numServers != s.idx {
-			continue // round-robin file assignment
+	pos := -1
+	for i, a := range alive {
+		if a == s.idx {
+			pos = i
 		}
-		if !strings.HasSuffix(name, ".rhdf") {
-			continue
+	}
+	if pos >= 0 {
+		names, err := s.ctx.FS().List(file + "_s")
+		if err != nil {
+			panic(err)
 		}
-		s.scanFile(name, window, round)
+		for i, name := range names {
+			if i%len(alive) != pos {
+				continue // round-robin file assignment
+			}
+			if !strings.HasSuffix(name, ".rhdf") {
+				continue
+			}
+			s.scanFile(name, window, round)
+		}
 	}
 	for _, c := range s.allClients {
 		s.world.Send(c, tagReadDone, nil)
@@ -295,7 +374,13 @@ func (s *server) serveRead(file, window string, round *readRound) {
 func (s *server) scanFile(name, window string, round *readRound) {
 	r, err := hdf.Open(s.ctx.FS(), name, s.ctx.Clock(), s.cfg.Profile)
 	if err != nil {
-		panic(fmt.Sprintf("rocpanda: server %d restart: %v", s.idx, err))
+		// A snapshot file without a valid directory is what a crashed
+		// server leaves behind; skip it — the panes it holds either also
+		// exist in a surviving server's file (resent after failover) or
+		// the restart reports the snapshot incomplete and the caller
+		// falls back to the previous one.
+		s.m.FilesSkipped++
+		return
 	}
 	defer r.Close()
 

@@ -1,0 +1,52 @@
+package genxio_test
+
+// Build-and-run smoke tests for the repository's entry points: every
+// binary under examples/ and cmd/ must compile, and the quickstart example
+// must run to completion and verify its own restart.
+
+import (
+	"context"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+// goTool locates the go binary or skips the test (the library itself never
+// shells out; only this smoke test does).
+func goTool(t *testing.T) string {
+	t.Helper()
+	path, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go binary not in PATH")
+	}
+	return path
+}
+
+func TestBinariesBuild(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	cmd := exec.CommandContext(ctx, goTool(t), "build", "./examples/...", "./cmd/...")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+}
+
+func TestQuickstartRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	cmd := exec.CommandContext(ctx, goTool(t), "run", "./examples/quickstart")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("quickstart: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "restart verified OK") {
+		t.Fatalf("quickstart did not verify its restart:\n%s", out)
+	}
+}
