@@ -30,6 +30,7 @@ import (
 	"genxio/internal/cluster"
 	"genxio/internal/hdf"
 	"genxio/internal/mesh"
+	"genxio/internal/metrics"
 	"genxio/internal/mpi"
 	"genxio/internal/panda"
 	"genxio/internal/physics"
@@ -250,11 +251,24 @@ var (
 )
 
 // TraceRecorder collects per-rank phase intervals for timeline analysis
-// (attach one to Config.Trace).
+// (attach one to Config.Trace). Render with Timeline (ASCII), or export
+// with WriteJSONL / WriteChromeTrace.
 type TraceRecorder = trace.Recorder
 
 // NewTrace returns an empty trace recorder.
 func NewTrace() *TraceRecorder { return trace.New() }
+
+// Observability: counters, gauges and latency histograms recorded by the
+// I/O stack (attach a registry to Config.Metrics).
+type (
+	// MetricsRegistry collects named metrics from all ranks sharing it.
+	MetricsRegistry = metrics.Registry
+	// MetricsSnapshot is a point-in-time copy of a registry, JSON-ready.
+	MetricsSnapshot = metrics.Snapshot
+)
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *MetricsRegistry { return metrics.New() }
 
 // Run executes the integrated simulation on the calling rank; every world
 // rank must call it. The Report is returned on client rank 0.

@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"genxio/internal/cluster"
+	"genxio/internal/hdf"
+	"genxio/internal/metrics"
+	"genxio/internal/rocman"
+	"genxio/internal/rocpanda"
+	"genxio/internal/trace"
+	"genxio/internal/workload"
+)
+
+// BenchSchema identifies the BENCH_*.json layout; bump on breaking
+// changes so downstream tooling can dispatch.
+const BenchSchema = "genxio-bench/v1"
+
+// BenchOpts configures the observability bench: one small integrated run
+// per I/O module on the simulated Turing platform, with a metrics
+// registry and a phase-trace recorder attached to each.
+type BenchOpts struct {
+	// Scale shrinks the lab-scale workload (default 0.1 — a smoke-sized
+	// mesh; the bench is about the observability plumbing, not the
+	// paper's numbers).
+	Scale float64
+	// Procs is the compute-processor count (default 16).
+	Procs int
+	// Seed fixes the simulated platform's noise stream; the whole bench
+	// is deterministic in it (default 1).
+	Seed uint64
+	// Stride is the real-arithmetic stride (default 100).
+	Stride int
+}
+
+func (o *BenchOpts) defaults() {
+	if o.Scale <= 0 {
+		o.Scale = 0.1
+	}
+	if o.Procs <= 0 {
+		o.Procs = 16
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Stride <= 0 {
+		o.Stride = 100
+	}
+}
+
+// IOBenchResult is one I/O module's run: the client-0 report plus the
+// full metrics snapshot. The trace recorder is kept for export (JSONL or
+// Chrome format) but excluded from the JSON result.
+type IOBenchResult struct {
+	IO             string           `json:"io"`
+	NumClients     int              `json:"num_clients"`
+	NumServers     int              `json:"num_servers"`
+	Compute        float64          `json:"compute_seconds"`
+	VisibleWrite   float64          `json:"visible_write_seconds"`
+	VisibleRead    float64          `json:"visible_read_seconds"`
+	SyncWait       float64          `json:"sync_wait_seconds"`
+	BytesOut       int64            `json:"bytes_out"`
+	ThroughputMBps float64          `json:"throughput_mbps"`
+	Metrics        metrics.Snapshot `json:"metrics"`
+	Trace          *trace.Recorder  `json:"-"`
+}
+
+// BenchResult is the full bench outcome (BENCH_genxbench.json).
+type BenchResult struct {
+	Schema   string          `json:"schema"`
+	Platform string          `json:"platform"`
+	Opts     BenchOpts       `json:"opts"`
+	IOs      []IOBenchResult `json:"ios"`
+}
+
+// RunBench executes one lab-scale run per I/O module (Rochdf, T-Rochdf,
+// Rocpanda) with observability attached: per-module metrics registries
+// and trace recorders. Deterministic in Opts.Seed — the simulated
+// platform serializes execution, so same seed means an identical
+// snapshot and trace, byte for byte.
+func RunBench(opts BenchOpts) (*BenchResult, error) {
+	opts.defaults()
+	plat := cluster.Turing()
+	spec := workload.LabScale(opts.Scale)
+	res := &BenchResult{Schema: BenchSchema, Platform: plat.Name, Opts: opts}
+
+	for _, kind := range []rocman.IOKind{rocman.IORochdf, rocman.IOTRochdf, rocman.IORocpanda} {
+		reg := metrics.New()
+		rec := trace.New()
+		cfg := rocman.Config{
+			Workload:       spec,
+			IO:             kind,
+			Profile:        hdf.HDF4Profile(),
+			BufferBW:       plat.MemcpyBW,
+			ServerBufferBW: 300e6,
+			StrideRealWork: opts.Stride,
+			MeasureRestart: kind != rocman.IOTRochdf, // T-Rochdf restarts like Rochdf
+			Metrics:        reg,
+			Trace:          rec,
+		}
+		total := opts.Procs
+		if kind == rocman.IORocpanda {
+			m := opts.Procs / 8
+			if m < 1 {
+				m = 1
+			}
+			cfg.Rocpanda = rocpanda.Config{
+				NumServers:      m,
+				ActiveBuffering: true,
+				Placement:       rocpanda.Spread,
+			}
+			total += m
+		}
+		rep, _, err := runOnce(plat, opts.Seed, plat.CPUsPerNode, total, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("bench %s: %w", kind, err)
+		}
+		res.IOs = append(res.IOs, IOBenchResult{
+			IO:             string(kind),
+			NumClients:     rep.NumClients,
+			NumServers:     rep.NumServers,
+			Compute:        rep.ComputeTime,
+			VisibleWrite:   rep.VisibleWrite,
+			VisibleRead:    rep.VisibleRead,
+			SyncWait:       rep.SyncWait,
+			BytesOut:       rep.BytesOut,
+			ThroughputMBps: throughputMBps(rep),
+			Metrics:        reg.Snapshot(),
+			Trace:          rec,
+		})
+	}
+	return res, nil
+}
+
+// WriteJSON writes the bench result as indented JSON. Go's encoder
+// sorts map keys, so output is deterministic for a fixed seed.
+func (r *BenchResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Format prints a human-readable summary: per-module visible costs plus
+// the headline drain/occupancy metrics the snapshot carries in full.
+func (r *BenchResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "observability bench — %s, scale %.2f, %d compute procs, seed %d\n\n",
+		r.Platform, r.Opts.Scale, r.Opts.Procs, r.Opts.Seed)
+	fmt.Fprintf(&b, "%-10s %9s %12s %12s %10s %12s %10s\n",
+		"module", "compute", "vis write", "vis read", "sync", "MB/s", "bytes")
+	for _, io := range r.IOs {
+		fmt.Fprintf(&b, "%-10s %9.2f %12.4f %12.4f %10.4f %12.1f %10d\n",
+			io.IO, io.Compute, io.VisibleWrite, io.VisibleRead, io.SyncWait,
+			io.ThroughputMBps, io.BytesOut)
+	}
+	b.WriteByte('\n')
+	for _, io := range r.IOs {
+		s := io.Metrics
+		switch io.IO {
+		case string(rocman.IORocpanda):
+			d := s.Histograms["rocpanda.server.drain_seconds"]
+			fmt.Fprintf(&b, "%-10s drained %d blocks (%.3fs total), buffer peak %.0f bytes, %d overflow stalls, %d restart reads served\n",
+				io.IO, d.Count, d.Sum, s.Gauges["rocpanda.server.buf_bytes_peak"],
+				s.Counters["rocpanda.server.overflow_stalls"], s.Counters["rocpanda.server.reads_served"])
+		case string(rocman.IOTRochdf):
+			bg := s.Histograms["trochdf.bg_write_seconds"]
+			dw := s.Histograms["trochdf.drain_wait_seconds"]
+			fmt.Fprintf(&b, "%-10s background wrote %d jobs (%.3fs total), drain waits %.3fs, %d files\n",
+				io.IO, bg.Count, bg.Sum, dw.Sum, s.Counters["trochdf.files_created"])
+		default:
+			fmt.Fprintf(&b, "%-10s %d files created, %d datasets, %d bytes stored\n",
+				io.IO, s.Counters["rochdf.files_created"], s.Counters["hdf.datasets_written"],
+				s.Counters["hdf.bytes_stored"])
+		}
+	}
+	return b.String()
+}

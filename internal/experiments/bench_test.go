@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func runBenchTwice(t *testing.T) (*BenchResult, *BenchResult) {
+	t.Helper()
+	opts := BenchOpts{Scale: 0.05, Procs: 8, Seed: 3, Stride: 100}
+	a, err := RunBench(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunBench(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, b
+}
+
+func TestBenchJSONDeterministicAndParseable(t *testing.T) {
+	a, b := runBenchTwice(t)
+	var ba, bb bytes.Buffer
+	if err := a.WriteJSON(&ba); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteJSON(&bb); err != nil {
+		t.Fatal(err)
+	}
+	if ba.String() != bb.String() {
+		t.Fatal("same-seed bench JSON differs between runs")
+	}
+	var round BenchResult
+	if err := json.Unmarshal(ba.Bytes(), &round); err != nil {
+		t.Fatalf("bench JSON does not parse: %v", err)
+	}
+	if round.Schema != BenchSchema || len(round.IOs) != 3 {
+		t.Fatalf("roundtrip schema=%q ios=%d", round.Schema, len(round.IOs))
+	}
+}
+
+func TestBenchCarriesPerModuleMetrics(t *testing.T) {
+	opts := BenchOpts{Scale: 0.05, Procs: 8, Seed: 1, Stride: 100}
+	res, err := RunBench(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byIO := map[string]IOBenchResult{}
+	for _, io := range res.IOs {
+		byIO[io.IO] = io
+	}
+	for io, series := range map[string][]string{
+		"rochdf":   {"rochdf.files_created", "rochdf.bytes_out", "hdf.datasets_written"},
+		"trochdf":  {"trochdf.files_created", "trochdf.bytes_out"},
+		"rocpanda": {"rocpanda.server.blocks_written", "rocpanda.client.bytes_out", "rocpanda.server.reads_served"},
+	} {
+		r, ok := byIO[io]
+		if !ok {
+			t.Fatalf("module %s missing from bench", io)
+		}
+		for _, name := range series {
+			if r.Metrics.Counters[name] == 0 {
+				t.Errorf("%s: counter %s = 0, want > 0", io, name)
+			}
+		}
+		if r.VisibleWrite <= 0 || r.BytesOut <= 0 {
+			t.Errorf("%s: report not populated: %+v", io, r)
+		}
+	}
+	// Drain histograms: the background-writing modules must show work the
+	// application did not see.
+	if byIO["rocpanda"].Metrics.Histograms["rocpanda.server.drain_seconds"].Count == 0 {
+		t.Error("rocpanda drain histogram empty")
+	}
+	if byIO["trochdf"].Metrics.Histograms["trochdf.bg_write_seconds"].Count == 0 {
+		t.Error("trochdf background-write histogram empty")
+	}
+	// MeasureRestart ran for rochdf and rocpanda.
+	if byIO["rochdf"].VisibleRead <= 0 || byIO["rocpanda"].VisibleRead <= 0 {
+		t.Error("restart read not measured")
+	}
+}
+
+func TestBenchTraceExportsDeterministic(t *testing.T) {
+	a, b := runBenchTwice(t)
+	for i := range a.IOs {
+		for _, format := range []string{"jsonl", "chrome"} {
+			var sa, sb strings.Builder
+			if err := a.IOs[i].Trace.WriteFile(&sa, format); err != nil {
+				t.Fatal(err)
+			}
+			if err := b.IOs[i].Trace.WriteFile(&sb, format); err != nil {
+				t.Fatal(err)
+			}
+			if sa.String() != sb.String() {
+				t.Fatalf("%s: %s trace export differs between same-seed runs", a.IOs[i].IO, format)
+			}
+			if sa.Len() == 0 {
+				t.Fatalf("%s: empty %s trace", a.IOs[i].IO, format)
+			}
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"io"
 	"strings"
 
+	"genxio/internal/metrics"
 	"genxio/internal/rt"
 )
 
@@ -19,6 +20,10 @@ type Reader struct {
 	sets   []*Dataset
 	names  map[string]int
 	dirOff int64
+
+	// Metrics, when set, receives hdf.lookups, hdf.datasets_read and
+	// hdf.bytes_read counters. A nil registry is a no-op.
+	Metrics *metrics.Registry
 }
 
 // Open opens an RHDF file for reading and parses its directory, charging
@@ -96,6 +101,7 @@ func (r *Reader) Names() []string {
 // Lookup finds a dataset by name, charging the profile's lookup cost.
 func (r *Reader) Lookup(name string) (*Dataset, bool) {
 	r.clock.Compute(r.cost.LookupCost(len(r.sets)))
+	r.Metrics.Counter("hdf.lookups").Inc()
 	i, ok := r.names[name]
 	if !ok {
 		return nil, false
@@ -107,6 +113,7 @@ func (r *Reader) Lookup(name string) (*Dataset, bool) {
 // order, charging one lookup.
 func (r *Reader) LookupPrefix(prefix string) []*Dataset {
 	r.clock.Compute(r.cost.LookupCost(len(r.sets)))
+	r.Metrics.Counter("hdf.lookups").Inc()
 	var out []*Dataset
 	for _, d := range r.sets {
 		if strings.HasPrefix(d.Name, prefix) {
@@ -123,6 +130,8 @@ func (r *Reader) ReadData(d *Dataset) ([]byte, error) {
 	if _, err := r.f.ReadAt(buf, d.offset); err != nil {
 		return nil, fmt.Errorf("hdf: reading %q: %w", d.Name, err)
 	}
+	r.Metrics.Counter("hdf.datasets_read").Inc()
+	r.Metrics.Counter("hdf.bytes_read").Add(int64(len(buf)))
 	if !d.Compressed() {
 		return buf, nil
 	}

@@ -6,6 +6,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"genxio/internal/metrics"
 	"genxio/internal/rt"
 )
 
@@ -26,6 +27,11 @@ type Writer struct {
 	// gzip filter equivalent). Readers inflate transparently. Small
 	// datasets (under 512 bytes) are stored raw regardless.
 	Compress bool
+
+	// Metrics, when set, receives hdf.datasets_written, hdf.bytes_written
+	// (logical) and hdf.bytes_stored (post-compression) counters. A nil
+	// registry is a no-op.
+	Metrics *metrics.Registry
 }
 
 // Create starts a new RHDF file named name on fsys, truncating any existing
@@ -129,6 +135,9 @@ func (w *Writer) CreateDataset(name string, typ DType, dims []int64, attrs []Att
 	w.names[name] = len(w.sets)
 	w.sets = append(w.sets, ds)
 	w.off += int64(len(stored))
+	w.Metrics.Counter("hdf.datasets_written").Inc()
+	w.Metrics.Counter("hdf.bytes_written").Add(int64(len(data)))
+	w.Metrics.Counter("hdf.bytes_stored").Add(int64(len(stored)))
 	return nil
 }
 

@@ -1,0 +1,279 @@
+// Package metrics is the library's observability registry: named
+// counters, gauges, and histograms that the I/O stack (Rocpanda client
+// and servers, Rochdf/T-Rochdf, the HDF writer/reader, rocman) records
+// into, and that snapshots into a machine-readable, deterministic form —
+// the per-phase accounting the paper's performance analysis is built on
+// (buffered-write cost, background drain latency, overflow stalls,
+// restart-scan time, failover retries).
+//
+// A Registry is safe for concurrent use from many ranks. Every accessor
+// is nil-safe: a nil *Registry hands out nil metric handles whose methods
+// are no-ops, so instrumented code needs no "is observability on?"
+// branches — exactly like trace.Recorder.
+//
+// Snapshots are deterministic: names are emitted in sorted order (Go's
+// encoding/json sorts map keys), histogram buckets are fixed at creation,
+// and on the simulated platforms every observed value is virtual-time
+// derived, so the same seed yields a byte-identical JSON snapshot.
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// TimeBuckets is the default histogram layout for durations in seconds:
+// decades from 1µs to 1000s, suiting both per-block drains (sub-ms) and
+// whole restart scans (tens of seconds).
+func TimeBuckets() []float64 {
+	return []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10, 100, 1000}
+}
+
+// Counter is a monotonically increasing int64.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n; no-op on a nil handle.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on a nil handle).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 that tracks a current or peak value.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v; no-op on a nil handle.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// SetMax stores v only if it exceeds the current value — peak tracking
+// (e.g. buffer occupancy high-water mark).
+func (g *Gauge) SetMax(v float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if v <= math.Float64frombits(old) {
+			return
+		}
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on a nil handle).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram accumulates observations into fixed buckets plus count, sum,
+// min, and max.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // ascending upper bounds; an implicit +Inf bucket follows
+	counts []int64   // len(bounds)+1
+	count  int64
+	sum    float64
+	min    float64
+	max    float64
+}
+
+// Observe records one value; no-op on a nil handle.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i]++
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+}
+
+// Registry holds named metrics. The zero value is not usable; create one
+// with New. A nil *Registry is a valid "observability off" registry.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Returns a
+// nil (no-op) handle on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Returns a nil
+// (no-op) handle on a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket upper bounds on first use (nil bounds means TimeBuckets). Later
+// calls ignore bounds, so the layout is fixed for the registry's life.
+// Returns a nil (no-op) handle on a nil registry.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		if bounds == nil {
+			bounds = TimeBuckets()
+		}
+		b := append([]float64(nil), bounds...)
+		sort.Float64s(b)
+		h = &Histogram{bounds: b, counts: make([]int64, len(b)+1)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Bucket is one histogram bucket in a snapshot: the count of observations
+// at or below the upper bound LE (non-cumulative). The overflow bucket
+// has LE = +Inf, serialized as null by encoding/json-compatible readers;
+// it is emitted with LE omitted instead.
+type Bucket struct {
+	LE    *float64 `json:"le,omitempty"` // nil marks the +Inf overflow bucket
+	Count int64    `json:"count"`
+}
+
+// HistSnapshot is a histogram's frozen state.
+type HistSnapshot struct {
+	Count   int64    `json:"count"`
+	Sum     float64  `json:"sum"`
+	Min     float64  `json:"min"`
+	Max     float64  `json:"max"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot is a registry's frozen state. Maps marshal with sorted keys,
+// so the JSON form is deterministic.
+type Snapshot struct {
+	Counters   map[string]int64        `json:"counters,omitempty"`
+	Gauges     map[string]float64      `json:"gauges,omitempty"`
+	Histograms map[string]HistSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot freezes the registry's current state. Safe to call while
+// other goroutines keep recording; each metric is read atomically. A nil
+// registry snapshots to the zero Snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]int64, len(r.counters))
+		for name, c := range r.counters {
+			s.Counters[name] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]float64, len(r.gauges))
+		for name, g := range r.gauges {
+			s.Gauges[name] = g.Value()
+		}
+	}
+	if len(r.hists) > 0 {
+		s.Histograms = make(map[string]HistSnapshot, len(r.hists))
+		for name, h := range r.hists {
+			h.mu.Lock()
+			hs := HistSnapshot{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+			for i, c := range h.counts {
+				if c == 0 {
+					continue // empty buckets add noise, not information
+				}
+				b := Bucket{Count: c}
+				if i < len(h.bounds) {
+					le := h.bounds[i]
+					b.LE = &le
+				}
+				hs.Buckets = append(hs.Buckets, b)
+			}
+			h.mu.Unlock()
+			s.Histograms[name] = hs
+		}
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON (deterministic: sorted
+// names, fixed bucket order).
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

@@ -1,0 +1,128 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := New()
+	c := r.Counter("ops")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if r.Counter("ops") != c {
+		t.Fatal("second Counter call returned a different handle")
+	}
+
+	g := r.Gauge("peak")
+	g.Set(3)
+	g.SetMax(2) // lower: ignored
+	g.SetMax(7)
+	if g.Value() != 7 {
+		t.Fatalf("gauge = %v, want 7", g.Value())
+	}
+
+	h := r.Histogram("lat", []float64{1, 10})
+	for _, v := range []float64{0.5, 0.7, 5, 100} {
+		h.Observe(v)
+	}
+	s := r.Snapshot()
+	hs := s.Histograms["lat"]
+	if hs.Count != 4 || hs.Min != 0.5 || hs.Max != 100 || math.Abs(hs.Sum-106.2) > 1e-12 {
+		t.Fatalf("hist snapshot %+v", hs)
+	}
+	// Buckets: <=1 holds 2, <=10 holds 1, +Inf holds 1.
+	if len(hs.Buckets) != 3 {
+		t.Fatalf("buckets %+v", hs.Buckets)
+	}
+	if *hs.Buckets[0].LE != 1 || hs.Buckets[0].Count != 2 {
+		t.Fatalf("bucket 0 %+v", hs.Buckets[0])
+	}
+	if hs.Buckets[2].LE != nil || hs.Buckets[2].Count != 1 {
+		t.Fatalf("overflow bucket %+v", hs.Buckets[2])
+	}
+}
+
+func TestNilRegistryIsNoop(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Add(10)
+	r.Counter("x").Inc()
+	r.Gauge("y").Set(1)
+	r.Gauge("y").SetMax(2)
+	r.Histogram("z", nil).Observe(3)
+	if r.Counter("x").Value() != 0 || r.Gauge("y").Value() != 0 {
+		t.Fatal("nil handles retained values")
+	}
+	s := r.Snapshot()
+	if s.Counters != nil || s.Gauges != nil || s.Histograms != nil {
+		t.Fatalf("nil registry snapshot %+v", s)
+	}
+	var b bytes.Buffer
+	if err := s.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotJSONDeterministic(t *testing.T) {
+	build := func() Snapshot {
+		r := New()
+		// Insert in different orders across builds; JSON must not care.
+		for _, n := range []string{"b", "a", "c"} {
+			r.Counter(n).Add(int64(len(n)))
+		}
+		r.Gauge("g2").Set(2)
+		r.Gauge("g1").Set(1)
+		r.Histogram("h", []float64{1, 2}).Observe(1.5)
+		return r.Snapshot()
+	}
+	var b1, b2 bytes.Buffer
+	if err := build().WriteJSON(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WriteJSON(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Fatalf("snapshots differ:\n%s\nvs\n%s", b1.String(), b2.String())
+	}
+	var round Snapshot
+	if err := json.Unmarshal(b1.Bytes(), &round); err != nil {
+		t.Fatalf("snapshot JSON does not parse: %v", err)
+	}
+	if round.Counters["a"] != 1 || round.Gauges["g2"] != 2 {
+		t.Fatalf("roundtrip %+v", round)
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("n").Inc()
+				r.Gauge("p").SetMax(float64(j))
+				r.Histogram("h", nil).Observe(float64(j) * 1e-4)
+			}
+		}()
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if s.Counters["n"] != 8000 {
+		t.Fatalf("counter = %d, want 8000", s.Counters["n"])
+	}
+	if s.Gauges["p"] != 999 {
+		t.Fatalf("gauge = %v, want 999", s.Gauges["p"])
+	}
+	if s.Histograms["h"].Count != 8000 {
+		t.Fatalf("hist count = %d", s.Histograms["h"].Count)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"fmt"
 
 	"genxio/internal/hdf"
+	"genxio/internal/metrics"
 	"genxio/internal/mpi"
 	"genxio/internal/roccom"
 	"genxio/internal/rt"
@@ -40,6 +41,9 @@ type Config struct {
 	BufferBW float64
 	// Compress stores snapshot datasets deflate-compressed.
 	Compress bool
+	// Metrics, if set, receives rochdf.* (or trochdf.* when Threaded)
+	// counters and latency histograms. A nil registry disables recording.
+	Metrics *metrics.Registry
 }
 
 // Metrics accumulates the per-process costs the paper reports.
@@ -68,7 +72,40 @@ type Rochdf struct {
 	lastFile    string
 	closed      bool
 
-	m Metrics
+	m  Metrics
+	mx hdfMx
+}
+
+// hdfMx holds the registry handles, named rochdf.* or trochdf.* so the
+// two variants stay distinguishable in one shared registry. All handles
+// are nil-safe no-ops without a registry.
+type hdfMx struct {
+	visibleWrite *metrics.Histogram
+	visibleRead  *metrics.Histogram
+	syncWait     *metrics.Histogram
+	drainWait    *metrics.Histogram // T-Rochdf: blocking on the I/O thread
+	bgWrite      *metrics.Histogram // T-Rochdf: background file-write time
+	bytesOut     *metrics.Counter
+	filesCreated *metrics.Counter
+}
+
+func newHdfMx(r *metrics.Registry, threaded bool) hdfMx {
+	prefix := "rochdf."
+	if threaded {
+		prefix = "trochdf."
+	}
+	mx := hdfMx{
+		visibleWrite: r.Histogram(prefix+"visible_write_seconds", nil),
+		visibleRead:  r.Histogram(prefix+"visible_read_seconds", nil),
+		syncWait:     r.Histogram(prefix+"sync_wait_seconds", nil),
+		bytesOut:     r.Counter(prefix + "bytes_out"),
+		filesCreated: r.Counter(prefix + "files_created"),
+	}
+	if threaded {
+		mx.drainWait = r.Histogram(prefix+"drain_wait_seconds", nil)
+		mx.bgWrite = r.Histogram(prefix+"bg_write_seconds", nil)
+	}
+	return mx
 }
 
 type writeJob struct {
@@ -89,6 +126,7 @@ func New(ctx mpi.Ctx, cfg Config) *Rochdf {
 		fs:      ctx.FS(),
 		cfg:     cfg,
 		created: make(map[string]bool),
+		mx:      newHdfMx(cfg.Metrics, cfg.Threaded),
 	}
 	if cfg.Threaded {
 		h.jobs = ctx.NewQueue(8)
@@ -113,8 +151,10 @@ func (h *Rochdf) WriteAttribute(file string, w *roccom.Window, attr string, tm f
 	}
 	t0 := h.clock.Now()
 	defer func() {
-		h.m.VisibleWrite += h.clock.Now() - t0
+		d := h.clock.Now() - t0
+		h.m.VisibleWrite += d
 		h.m.WriteCalls++
+		h.mx.visibleWrite.Observe(d)
 	}()
 
 	fname := h.fileName(file)
@@ -136,11 +176,13 @@ func (h *Rochdf) WriteAttribute(file string, w *roccom.Window, attr string, tm f
 		return err
 	}
 	h.m.BytesOut += bytes
+	h.mx.bytesOut.Add(bytes)
 
 	newFile := !h.created[fname]
 	if newFile {
 		h.created[fname] = true
 		h.m.FilesCreated++
+		h.mx.filesCreated.Inc()
 	}
 	job := writeJob{fname: fname, newFile: newFile, sets: sets, time: tm, step: step}
 
@@ -165,8 +207,12 @@ func (h *Rochdf) WriteAttribute(file string, w *roccom.Window, attr string, tm f
 	return nil
 }
 
-// drain waits until the I/O thread has completed all outstanding jobs.
+// drain waits until the I/O thread has completed all outstanding jobs,
+// recording the blocking time (the part of the background write the
+// application actually sees).
 func (h *Rochdf) drain() error {
+	t0 := h.clock.Now()
+	defer func() { h.mx.drainWait.Observe(h.clock.Now() - t0) }()
 	for h.outstanding > 0 {
 		v, ok := h.done.Get(h.clock)
 		if !ok {
@@ -188,7 +234,10 @@ func (h *Rochdf) ioThread(tc rt.TaskCtx) {
 			return
 		}
 		job := v.(writeJob)
-		if err := h.writeFile(tc.Clock(), tc.FS(), job); err != nil {
+		t0 := tc.Clock().Now()
+		err := h.writeFile(tc.Clock(), tc.FS(), job)
+		h.mx.bgWrite.Observe(tc.Clock().Now() - t0)
+		if err != nil {
 			h.done.Put(tc.Clock(), err)
 			continue
 		}
@@ -219,6 +268,7 @@ func (h *Rochdf) writeFile(clock rt.Clock, fs rt.FS, job writeJob) error {
 		return fmt.Errorf("rochdf: %s: %w", job.fname, err)
 	}
 	wr.Compress = h.cfg.Compress
+	wr.Metrics = h.cfg.Metrics
 	for _, s := range job.sets {
 		if err := wr.CreateDataset(s.Name, s.Type, s.Dims, s.Attrs, s.Data); err != nil {
 			wr.Close()
@@ -236,8 +286,10 @@ func (h *Rochdf) writeFile(clock rt.Clock, fs rt.FS, job writeJob) error {
 func (h *Rochdf) ReadAttribute(file string, w *roccom.Window, attr string) error {
 	t0 := h.clock.Now()
 	defer func() {
-		h.m.VisibleRead += h.clock.Now() - t0
+		d := h.clock.Now() - t0
+		h.m.VisibleRead += d
 		h.m.ReadCalls++
+		h.mx.visibleRead.Observe(d)
 	}()
 	if h.cfg.Threaded {
 		if err := h.drain(); err != nil {
@@ -250,6 +302,7 @@ func (h *Rochdf) ReadAttribute(file string, w *roccom.Window, attr string) error
 		return fmt.Errorf("rochdf: restart: %w", err)
 	}
 	defer r.Close()
+	r.Metrics = h.cfg.Metrics
 
 	for _, id := range w.PaneIDs() {
 		prefix := roccom.PanePrefix(w.Name, id)
@@ -299,7 +352,11 @@ func (h *Rochdf) ReadAttribute(file string, w *roccom.Window, attr string) error
 // (writes are synchronous).
 func (h *Rochdf) Sync() error {
 	t0 := h.clock.Now()
-	defer func() { h.m.SyncWait += h.clock.Now() - t0 }()
+	defer func() {
+		d := h.clock.Now() - t0
+		h.m.SyncWait += d
+		h.mx.syncWait.Observe(d)
+	}()
 	if !h.cfg.Threaded {
 		return nil
 	}

@@ -18,6 +18,7 @@ import (
 
 	"genxio/internal/hdf"
 	"genxio/internal/mesh"
+	"genxio/internal/metrics"
 	"genxio/internal/mpi"
 	"genxio/internal/physics"
 	"genxio/internal/roccom"
@@ -92,6 +93,9 @@ type Config struct {
 	// Trace, if non-nil, records per-rank phase intervals (compute,
 	// write, read, sync) for timeline analysis.
 	Trace *trace.Recorder
+	// Metrics, if non-nil, is handed to the loaded I/O service and the
+	// file layer, collecting the run's counters and latency histograms.
+	Metrics *metrics.Registry
 	// BurnModel selects Rocburn's 1-D model.
 	BurnModel physics.BurnModel
 }
@@ -152,6 +156,9 @@ func Run(ctx mpi.Ctx, cfg Config) (*Report, error) {
 		if pcfg.MemcpyBW == 0 {
 			pcfg.MemcpyBW = cfg.BufferBW
 		}
+		if pcfg.Metrics == nil {
+			pcfg.Metrics = cfg.Metrics
+		}
 		cl, err := rocpanda.Init(ctx, pcfg)
 		if err != nil {
 			return nil, err
@@ -172,6 +179,7 @@ func Run(ctx mpi.Ctx, cfg Config) (*Report, error) {
 			Threaded: cfg.IO == IOTRochdf,
 			BufferBW: cfg.BufferBW,
 			Compress: cfg.Compress,
+			Metrics:  cfg.Metrics,
 		})
 		if err := rc.LoadModule(hdfSvc.Module(), "IO"); err != nil {
 			return nil, err

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"genxio/internal/metrics"
 	"genxio/internal/mpi"
 	"genxio/internal/roccom"
 )
@@ -48,7 +49,30 @@ type Client struct {
 	dead      map[int]bool // server idx -> believed dead
 	contacted []int        // world ranks of servers this client announced itself to
 
-	m Metrics
+	m  Metrics
+	mx clMx
+}
+
+// clMx holds a client's registry handles (nil-safe no-ops when
+// Config.Metrics is unset).
+type clMx struct {
+	visibleWrite *metrics.Histogram
+	visibleRead  *metrics.Histogram
+	syncWait     *metrics.Histogram
+	bytesOut     *metrics.Counter
+	retries      *metrics.Counter
+	failovers    *metrics.Counter
+}
+
+func newClMx(r *metrics.Registry) clMx {
+	return clMx{
+		visibleWrite: r.Histogram("rocpanda.client.visible_write_seconds", nil),
+		visibleRead:  r.Histogram("rocpanda.client.visible_read_seconds", nil),
+		syncWait:     r.Histogram("rocpanda.client.sync_wait_seconds", nil),
+		bytesOut:     r.Counter("rocpanda.client.bytes_out"),
+		retries:      r.Counter("rocpanda.client.retries"),
+		failovers:    r.Counter("rocpanda.client.failovers"),
+	}
 }
 
 // Comm returns the client communicator that replaces MPI_COMM_WORLD for
@@ -70,8 +94,10 @@ func (c *Client) WriteAttribute(file string, w *roccom.Window, attr string, tm f
 	}
 	t0 := c.ctx.Clock().Now()
 	defer func() {
-		c.m.VisibleWrite += c.ctx.Clock().Now() - t0
+		d := c.ctx.Clock().Now() - t0
+		c.m.VisibleWrite += d
 		c.m.WriteCalls++
+		c.mx.visibleWrite.Observe(d)
 	}()
 
 	ids := w.PaneIDs()
@@ -88,6 +114,7 @@ func (c *Client) WriteAttribute(file string, w *roccom.Window, attr string, tm f
 		payloads = append(payloads, enc)
 	}
 	c.m.BytesOut += bytes
+	c.mx.bytesOut.Add(bytes)
 
 	hdr := writeHdr{
 		File: file, Window: w.Name, Attr: attr,
@@ -114,7 +141,7 @@ func (c *Client) WriteAttribute(file string, w *roccom.Window, attr string, tm f
 		if ok && st.Size != 0 {
 			panic("rocpanda: unexpected ack payload")
 		}
-		if debugWrites && c.comm.Rank() < 2 {
+		if debugWrites.Load() && c.comm.Rank() < 2 {
 			fmt.Printf("DEBUG cl%d write %s/%s: enc=%.3f send=%.3f ack=%.3f\n",
 				c.comm.Rank(), file, w.Name, sendT0-t0, sendT1-sendT0, c.ctx.Clock().Now()-sendT1)
 		}
@@ -132,8 +159,10 @@ func (c *Client) ReadAttribute(file string, w *roccom.Window, attr string) error
 	}
 	t0 := c.ctx.Clock().Now()
 	defer func() {
-		c.m.VisibleRead += c.ctx.Clock().Now() - t0
+		d := c.ctx.Clock().Now() - t0
+		c.m.VisibleRead += d
 		c.m.ReadCalls++
+		c.mx.visibleRead.Observe(d)
 	}()
 
 	// Agree on the surviving servers first (collective), so every client
@@ -281,7 +310,11 @@ func (c *Client) Sync() error {
 		return fmt.Errorf("rocpanda: sync after shutdown")
 	}
 	t0 := c.ctx.Clock().Now()
-	defer func() { c.m.SyncWait += c.ctx.Clock().Now() - t0 }()
+	defer func() {
+		d := c.ctx.Clock().Now() - t0
+		c.m.SyncWait += d
+		c.mx.syncWait.Observe(d)
+	}()
 	// Sync is collective: align the clients first, so no server starts a
 	// long synchronous drain while a peer's collective write is still
 	// being ingested (which would charge the drain to that write's

@@ -89,6 +89,7 @@ func (c *Client) markDeadRank(worldRank int) {
 		if r == worldRank && !c.dead[i] {
 			c.dead[i] = true
 			c.m.Failovers++
+			c.mx.failovers.Inc()
 		}
 	}
 }
@@ -171,6 +172,7 @@ func (c *Client) withFailover(what string, op func(target int) bool) error {
 			return nil
 		}
 		c.m.Retries++
+		c.mx.retries.Inc()
 		c.markDeadRank(target)
 		if attempt+1 > c.maxFail {
 			return fmt.Errorf("rocpanda: %s: no responsive server after %d attempts", what, attempt+1)

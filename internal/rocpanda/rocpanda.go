@@ -33,6 +33,7 @@ import (
 
 	"genxio/internal/faults"
 	"genxio/internal/hdf"
+	"genxio/internal/metrics"
 	"genxio/internal/mpi"
 )
 
@@ -87,6 +88,10 @@ type Config struct {
 	// down (called on the server's goroutine/process). It is also called
 	// when the server dies to an injected crash, with Crashed set.
 	OnServerDone func(ServerMetrics)
+	// Metrics, if set, receives rocpanda.client.* and rocpanda.server.*
+	// counters, gauges and latency histograms from every rank sharing the
+	// registry. A nil registry disables all recording at no cost.
+	Metrics *metrics.Registry
 
 	// Fault tolerance (internal/faults).
 
@@ -189,6 +194,7 @@ func Init(ctx mpi.Ctx, cfg Config) (*Client, error) {
 			myClients:  groups[myServerIdx],
 			allClients: clientRanks,
 			cfg:        cfg,
+			mx:         newSrvMx(cfg.Metrics),
 		}
 		s.run()
 		if cfg.OnServerDone != nil {
@@ -227,5 +233,6 @@ func Init(ctx mpi.Ctx, cfg Config) (*Client, error) {
 		maxFail:    maxFail,
 		dead:       make(map[int]bool),
 		contacted:  []int{origServer},
+		mx:         newClMx(cfg.Metrics),
 	}, nil
 }

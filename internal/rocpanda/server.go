@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"genxio/internal/faults"
 	"genxio/internal/hdf"
+	"genxio/internal/metrics"
 	"genxio/internal/mpi"
 	"genxio/internal/roccom"
 )
@@ -41,11 +43,15 @@ type pendingBlock struct {
 }
 
 // readRound accumulates a collective read until all clients have asked.
+// Requesters are tracked as a set of world ranks, not a raw count: after a
+// failover a client may resend its request to a server that already has
+// the first copy in flight, and counting that duplicate would start the
+// scan before every client has actually asked (a partial restart).
 type readRound struct {
 	attr    string
-	wantAll map[int]int // (paneID) -> world rank of requesting client
-	reqs    int
-	alive   []int // server indices sharing the scan (agreed by the clients)
+	wantAll map[int]int  // (paneID) -> world rank of requesting client
+	reqers  map[int]bool // world ranks that have requested this round
+	alive   []int        // server indices sharing the scan (agreed by the clients)
 }
 
 // server is the Rocpanda server routine state (Figure 2's I/O processor).
@@ -66,7 +72,41 @@ type server struct {
 	shutdown      int
 	shutdownQueue []int // clients awaiting the shutdown ack
 
-	m ServerMetrics
+	m  ServerMetrics
+	mx srvMx
+}
+
+// srvMx holds a server's registry handles; every handle is a nil-safe
+// no-op when Config.Metrics is unset. Handles are created once at Init so
+// the hot paths never touch the registry map.
+type srvMx struct {
+	blocksBuffered *metrics.Counter
+	blocksWritten  *metrics.Counter
+	bytesWritten   *metrics.Counter
+	filesCreated   *metrics.Counter
+	filesSkipped   *metrics.Counter
+	overflowStalls *metrics.Counter
+	readsServed    *metrics.Counter
+	adopted        *metrics.Counter
+	bufBytesPeak   *metrics.Gauge
+	drainSeconds   *metrics.Histogram
+	scanSeconds    *metrics.Histogram
+}
+
+func newSrvMx(r *metrics.Registry) srvMx {
+	return srvMx{
+		blocksBuffered: r.Counter("rocpanda.server.blocks_buffered"),
+		blocksWritten:  r.Counter("rocpanda.server.blocks_written"),
+		bytesWritten:   r.Counter("rocpanda.server.bytes_written"),
+		filesCreated:   r.Counter("rocpanda.server.files_created"),
+		filesSkipped:   r.Counter("rocpanda.server.files_skipped"),
+		overflowStalls: r.Counter("rocpanda.server.overflow_stalls"),
+		readsServed:    r.Counter("rocpanda.server.reads_served"),
+		adopted:        r.Counter("rocpanda.server.clients_adopted"),
+		bufBytesPeak:   r.Gauge("rocpanda.server.buf_bytes_peak"),
+		drainSeconds:   r.Histogram("rocpanda.server.drain_seconds", nil),
+		scanSeconds:    r.Histogram("rocpanda.server.restart_scan_seconds", nil),
+	}
 }
 
 // run is the server service loop, structured exactly as Section 6.1
@@ -116,16 +156,16 @@ func (s *server) handle(st mpi.Status) {
 	case tagReadReq:
 		s.handleReadReq(st.Source)
 	case tagSync:
-		s.world.Recv(st.Source, tagSync)
+		s.recvEmpty(st.Source, tagSync, "sync request")
 		s.drainAll()
 		s.closeWriters("")
 		s.world.Send(st.Source, tagSyncAck, nil)
 	case tagShutdown:
-		s.world.Recv(st.Source, tagShutdown)
+		s.recvEmpty(st.Source, tagShutdown, "shutdown request")
 		s.shutdown++
 		s.shutdownQueue = append(s.shutdownQueue, st.Source)
 	case tagAdopt:
-		s.world.Recv(st.Source, tagAdopt)
+		s.recvEmpty(st.Source, tagAdopt, "adoption announcement")
 		for _, c := range s.myClients {
 			if c == st.Source {
 				return // already ours
@@ -133,8 +173,32 @@ func (s *server) handle(st mpi.Status) {
 		}
 		s.myClients = append(s.myClients, st.Source)
 		s.m.ClientsAdopted++
+		s.mx.adopted.Inc()
 	default:
 		panic(fmt.Sprintf("rocpanda: server %d got unexpected tag %d from %d", s.idx, st.Tag, st.Source))
+	}
+}
+
+// recvExpect receives one protocol message that must carry a payload.
+// The server panics on protocol damage (its process is useless once the
+// stream is desynchronized), but always with enough context — server
+// index, peer rank, tag — to attribute the failure; silently decoding an
+// empty or truncated payload would surface as a confusing error far from
+// the broken link.
+func (s *server) recvExpect(src, tag int, what string) []byte {
+	data, st := s.world.Recv(src, tag)
+	if len(data) == 0 {
+		panic(fmt.Sprintf("rocpanda: server %d: empty %s from rank %d (tag %d)", s.idx, what, st.Source, st.Tag))
+	}
+	return data
+}
+
+// recvEmpty receives one control message that must carry no payload.
+func (s *server) recvEmpty(src, tag int, what string) {
+	data, st := s.world.Recv(src, tag)
+	if len(data) != 0 {
+		panic(fmt.Sprintf("rocpanda: server %d: unexpected %d-byte payload on %s from rank %d (tag %d)",
+			s.idx, len(data), what, st.Source, st.Tag))
 	}
 }
 
@@ -142,17 +206,18 @@ func (s *server) handle(st mpi.Status) {
 // write and buffers (or writes through) the blocks.
 func (s *server) handleWrite(src int) {
 	hwT0 := s.ctx.Clock().Now()
-	data, _ := s.world.Recv(src, tagWriteHdr)
+	data := s.recvExpect(src, tagWriteHdr, "write header")
 	hdr, err := decodeWriteHdr(data)
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("rocpanda: server %d: corrupt write header from rank %d (tag %d): %v", s.idx, src, tagWriteHdr, err))
 	}
 	fname := s.fileName(hdr.File)
 	for i := int32(0); i < hdr.NBlocks; i++ {
-		payload, _ := s.world.Recv(src, tagWriteBlock)
+		payload := s.recvExpect(src, tagWriteBlock, "write block")
 		sets, err := roccom.DecodeIOSets(payload)
 		if err != nil {
-			panic(fmt.Sprintf("rocpanda: server %d: %v", s.idx, err))
+			panic(fmt.Sprintf("rocpanda: server %d: corrupt write block %d/%d from rank %d (tag %d, %d bytes): %v",
+				s.idx, i+1, hdr.NBlocks, src, tagWriteBlock, len(payload), err))
 		}
 		blk := pendingBlock{fname: fname, sets: sets, bytes: int64(len(payload)), time: hdr.Time, step: hdr.Step}
 		if !s.cfg.ActiveBuffering {
@@ -167,27 +232,33 @@ func (s *server) handleWrite(src int) {
 		s.buf = append(s.buf, blk)
 		s.bufBytes += blk.bytes
 		s.m.BlocksBuffered++
+		s.mx.blocksBuffered.Inc()
 		s.maybeCrash(faults.MidBuffer)
 		if s.bufBytes > s.m.MaxBufBytes {
 			s.m.MaxBufBytes = s.bufBytes
 		}
+		s.mx.bufBytesPeak.SetMax(float64(s.bufBytes))
 		// Graceful overflow: make room synchronously.
 		for s.cfg.BufferCapacity > 0 && s.bufBytes > s.cfg.BufferCapacity && len(s.buf) > 0 {
 			s.m.Overflows++
+			s.mx.overflowStalls.Inc()
 			s.drainOne()
 		}
 	}
 	s.world.Send(src, tagWriteAck, nil)
-	if debugWrites {
+	if debugWrites.Load() {
 		fmt.Printf("DEBUG srv%d handleWrite src=%d t=%.3f..%.3f\n", s.idx, src, hwT0, s.ctx.Clock().Now())
 	}
 }
 
-// debugWrites enables handleWrite tracing.
-var debugWrites = false
+// debugWrites enables handleWrite tracing. Atomic: servers and clients
+// read it from their own goroutines on the real backend, and tests may
+// toggle it while a run is in flight.
+var debugWrites atomic.Bool
 
-// DebugWrites toggles write-path tracing (diagnostics only).
-func DebugWrites(on bool) { debugWrites = on }
+// DebugWrites toggles write-path tracing (diagnostics only). Safe to call
+// concurrently with a running service.
+func DebugWrites(on bool) { debugWrites.Store(on) }
 
 // fileName returns this server's file for a snapshot base name.
 func (s *server) fileName(base string) string {
@@ -202,12 +273,15 @@ func (s *server) maybeCrash(point faults.CrashPoint) {
 	}
 }
 
-// drainOne writes the oldest buffered block to its file.
+// drainOne writes the oldest buffered block to its file, recording the
+// block's drain latency (the background cost active buffering hides).
 func (s *server) drainOne() {
 	blk := s.buf[0]
 	s.buf = s.buf[1:]
 	s.bufBytes -= blk.bytes
+	t0 := s.ctx.Clock().Now()
 	s.writeBlock(blk)
+	s.mx.drainSeconds.Observe(s.ctx.Clock().Now() - t0)
 	s.maybeCrash(faults.MidDrain)
 }
 
@@ -234,11 +308,13 @@ func (s *server) writeBlock(blk pendingBlock) {
 		} else {
 			w, err = hdf.Create(s.ctx.FS(), blk.fname, s.ctx.Clock(), s.cfg.Profile)
 			s.m.FilesCreated++
+			s.mx.filesCreated.Inc()
 		}
 		if err != nil {
 			panic(fmt.Sprintf("rocpanda: server %d: %v", s.idx, err))
 		}
 		w.Compress = s.cfg.Compress
+		w.Metrics = s.cfg.Metrics
 		s.writers[blk.fname] = w
 	}
 	if !s.metaDone[blk.fname] {
@@ -261,6 +337,8 @@ func (s *server) writeBlock(blk pendingBlock) {
 	}
 	s.m.BlocksWritten++
 	s.m.BytesWritten += blk.bytes
+	s.mx.blocksWritten.Inc()
+	s.mx.bytesWritten.Add(blk.bytes)
 }
 
 // closeWriters closes every open writer except the named one.
@@ -284,15 +362,15 @@ func (s *server) closeWriters(except string) {
 // have asked, the server scans its share of the snapshot files and ships
 // the found blocks to their owners (Section 4.1's restart protocol).
 func (s *server) handleReadReq(src int) {
-	data, _ := s.world.Recv(src, tagReadReq)
+	data := s.recvExpect(src, tagReadReq, "read request")
 	req, err := decodeReadReq(data)
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("rocpanda: server %d: corrupt read request from rank %d (tag %d): %v", s.idx, src, tagReadReq, err))
 	}
 	key := req.File + "|" + req.Window + "|" + req.Attr
 	round, ok := s.reads[key]
 	if !ok {
-		round = &readRound{attr: req.Attr, wantAll: make(map[int]int)}
+		round = &readRound{attr: req.Attr, wantAll: make(map[int]int), reqers: make(map[int]bool)}
 		s.reads[key] = round
 	}
 	for _, id := range req.PaneIDs {
@@ -302,7 +380,7 @@ func (s *server) handleReadReq(src int) {
 	// allreduce in ReadAttribute), so every request carries the same
 	// alive list; keep the intersection anyway so a disagreement can only
 	// shrink a server's share, never leave a file scanned twice.
-	if round.reqs == 0 {
+	if len(round.reqers) == 0 {
 		for _, a := range req.Alive {
 			round.alive = append(round.alive, int(a))
 		}
@@ -319,8 +397,12 @@ func (s *server) handleReadReq(src int) {
 		}
 		round.alive = merged
 	}
-	round.reqs++
-	if round.reqs < len(s.allClients) {
+	// Count distinct requesters, not messages: a failed-over client can
+	// resend the same request (its timeout fired while this server was
+	// slow, not dead), and treating the duplicate as a new requester
+	// would start the scan before the remaining clients asked.
+	round.reqers[src] = true
+	if len(round.reqers) < len(s.allClients) {
 		return
 	}
 	delete(s.reads, key)
@@ -328,6 +410,8 @@ func (s *server) handleReadReq(src int) {
 }
 
 func (s *server) serveRead(file, window string, round *readRound) {
+	scanT0 := s.ctx.Clock().Now()
+	defer func() { s.mx.scanSeconds.Observe(s.ctx.Clock().Now() - scanT0) }()
 	// Buffered data must be on disk before any restart read.
 	s.drainAll()
 	s.closeWriters("")
@@ -380,8 +464,10 @@ func (s *server) scanFile(name, window string, round *readRound) {
 		// the restart reports the snapshot incomplete and the caller
 		// falls back to the previous one.
 		s.m.FilesSkipped++
+		s.mx.filesSkipped.Inc()
 		return
 	}
+	r.Metrics = s.cfg.Metrics
 	defer r.Close()
 
 	type paneData struct {
@@ -420,5 +506,6 @@ func (s *server) scanFile(name, window string, round *readRound) {
 		pd := panes[id]
 		s.world.Send(pd.owner, tagReadBlock, roccom.EncodeIOSets(pd.sets))
 		s.m.ReadsServed++
+		s.mx.readsServed.Inc()
 	}
 }

@@ -22,12 +22,13 @@ const (
 	PhaseSync    = "sync"
 )
 
-// Span is one recorded interval on one rank.
+// Span is one recorded interval on one rank. The JSON field names are
+// the JSONL export format (export.go).
 type Span struct {
-	Rank  int
-	Phase string
-	T0    float64
-	T1    float64
+	Rank  int     `json:"rank"`
+	Phase string  `json:"phase"`
+	T0    float64 `json:"t0"`
+	T1    float64 `json:"t1"`
 }
 
 // Recorder collects spans from many ranks. It is safe for concurrent use
@@ -79,6 +80,17 @@ func (r *Recorder) Totals() map[int]map[string]float64 {
 	return out
 }
 
+// clamp restricts a column index to [0, width).
+func clamp(c, width int) int {
+	if c < 0 {
+		return 0
+	}
+	if c >= width {
+		return width - 1
+	}
+	return c
+}
+
 // phaseGlyphs maps well-known phases to timeline characters.
 var phaseGlyphs = map[string]byte{
 	PhaseCompute: '=',
@@ -107,6 +119,12 @@ func (r *Recorder) Timeline(w io.Writer, width int) error {
 		}
 		ranks[s.Rank] = true
 	}
+	// All spans can end at or before t=0 (clocks are allowed to start
+	// negative); the column math below divides by maxT, so give the axis
+	// a positive extent and let clamping place everything in column 0.
+	if maxT <= 0 {
+		maxT = 1
+	}
 	order := make([]int, 0, len(ranks))
 	for rk := range ranks {
 		order = append(order, rk)
@@ -125,11 +143,11 @@ func (r *Recorder) Timeline(w io.Writer, width int) error {
 			if !ok {
 				g = '?'
 			}
-			c0 := int(s.T0 / maxT * float64(width))
-			c1 := int(s.T1 / maxT * float64(width))
-			if c1 >= width {
-				c1 = width - 1
-			}
+			// Clamp both endpoints into [0, width): spans may start
+			// before t=0, and a start within rounding distance of maxT
+			// must still paint the final column, not vanish.
+			c0 := clamp(int(s.T0/maxT*float64(width)), width)
+			c1 := clamp(int(s.T1/maxT*float64(width)), width)
 			for c := c0; c <= c1; c++ {
 				if line[c] == '.' || line[c] == phaseGlyphs[PhaseCompute] {
 					line[c] = g

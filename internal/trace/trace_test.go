@@ -82,6 +82,68 @@ func TestTimelineEmpty(t *testing.T) {
 	}
 }
 
+func TestTimelineGolden(t *testing.T) {
+	r := New()
+	r.Record(0, PhaseCompute, 0, 8)
+	r.Record(0, PhaseWrite, 8, 10)
+	r.Record(1, PhaseCompute, 0, 9)
+	r.Record(1, PhaseRead, 9, 10)
+	var b strings.Builder
+	if err := r.Timeline(&b, 20); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"timeline over 10.000s (= compute, W write, R read, S sync)",
+		"rank   0 ================WWWW",
+		"rank   1 ==================RR",
+		"compute  max over ranks: 9.000s",
+		"read     max over ranks: 1.000s",
+		"write    max over ranks: 2.000s",
+		"",
+	}, "\n")
+	if b.String() != want {
+		t.Fatalf("timeline output:\n%q\nwant:\n%q", b.String(), want)
+	}
+}
+
+func TestTimelineClampsSpansOutsideAxis(t *testing.T) {
+	// A span starting before t=0 (clocks may start negative) must render
+	// clamped to the first column instead of indexing out of range.
+	r := New()
+	r.Record(0, PhaseWrite, -0.5, 2)
+	r.Record(0, PhaseCompute, 2, 10)
+	var b strings.Builder
+	if err := r.Timeline(&b, 20); err != nil {
+		t.Fatal(err)
+	}
+	row := ""
+	for _, l := range strings.Split(b.String(), "\n") {
+		if strings.HasPrefix(l, "rank   0") {
+			row = l
+		}
+	}
+	if !strings.HasPrefix(row, "rank   0 WWW") {
+		t.Fatalf("negative-start span not clamped to column 0: %q", row)
+	}
+}
+
+func TestTimelineAllSpansNonpositive(t *testing.T) {
+	// Every span at or before t=0: maxT would be 0 and the column math
+	// divides by it. Must render (everything in the first column), not
+	// panic or emit NaN columns.
+	r := New()
+	r.Record(0, PhaseWrite, -2, -1)
+	r.Record(1, PhaseCompute, -3, -0.5)
+	var b strings.Builder
+	if err := r.Timeline(&b, 20); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "rank   0 W") || !strings.Contains(out, "rank   1 =") {
+		t.Fatalf("nonpositive-time spans missing:\n%s", out)
+	}
+}
+
 func TestOverlapFavorsIO(t *testing.T) {
 	r := New()
 	r.Record(0, PhaseCompute, 0, 10)
