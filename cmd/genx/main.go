@@ -9,6 +9,7 @@
 //	genx -n 8 -io rocpanda -servers 1 -scale 0.05 -out /tmp/genx
 //	genx -n 4 -io trochdf -steps 40 -snap-every 10 -out /tmp/genx
 //	genx -n 8 -io rocpanda -servers 2 -restart /tmp/genx/run/snap000020
+//	genx -n 8 -io rocpanda -servers 2 -restart-latest -out /tmp/genx
 package main
 
 import (
@@ -29,6 +30,8 @@ func main() {
 	scale := flag.Float64("scale", 0.05, "lab-scale mesh scale in (0,1]")
 	outDir := flag.String("out", "genx-out", "host directory for snapshots")
 	restart := flag.String("restart", "", "snapshot base to restart from (e.g. run/snap000020)")
+	restartLatest := flag.Bool("restart-latest", false, "restart from the newest verifiable snapshot generation, falling back past damaged or uncommitted ones")
+	retain := flag.Int("retain", 0, "keep only the newest k committed snapshot generations (0 = keep all)")
 	burn := flag.String("burn", "apn", "burn model: apn | wsb | zn")
 	refine := flag.Int("refine", 0, "split largest fluid block every k steps (fluid-only)")
 	rebalance := flag.Int("rebalance", 0, "migrate panes toward equal load every k steps (fluid-only)")
@@ -47,18 +50,22 @@ func main() {
 	spec.SnapshotEvery = *snapEvery
 	// Real runs do all arithmetic; the charged costs are irrelevant on
 	// the wall clock but keep reports meaningful.
+	reg := genxio.NewMetrics()
 	cfg := genxio.Config{
-		Workload:       spec,
-		IO:             genxio.IOKind(*io),
-		Profile:        genxio.NullProfile(),
-		OutputDir:      "run",
-		RestartFrom:    *restart,
-		RefineEvery:    *refine,
-		RebalanceEvery: *rebalance,
-		FluidOnly:      *refine > 0 || *rebalance > 0,
-		Compress:       *compress,
-		FluidSolver:    *fluid,
-		SolidSolver:    *solid,
+		Workload:          spec,
+		IO:                genxio.IOKind(*io),
+		Profile:           genxio.NullProfile(),
+		OutputDir:         "run",
+		RestartFrom:       *restart,
+		RestartFromLatest: *restartLatest,
+		RetainGenerations: *retain,
+		Metrics:           reg,
+		RefineEvery:       *refine,
+		RebalanceEvery:    *rebalance,
+		FluidOnly:         *refine > 0 || *rebalance > 0,
+		Compress:          *compress,
+		FluidSolver:       *fluid,
+		SolidSolver:       *solid,
 		Rocpanda: genxio.RocpandaConfig{
 			NumServers:      *servers,
 			ActiveBuffering: true,
@@ -96,6 +103,16 @@ func main() {
 	fmt.Printf("  clients %d, servers %d, steps %d, snapshots %d\n",
 		rep.NumClients, rep.NumServers, rep.Steps, rep.Snapshots)
 	fmt.Printf("  payload to I/O: %.1f MB\n", float64(rep.BytesOut)/1e6)
+	if *restartLatest {
+		// Every client takes the agreed restore path, so the shared
+		// registry carries clients× the per-rank counts.
+		s := reg.Snapshot()
+		nc := int64(rep.NumClients)
+		fmt.Printf("  restart: scanned %d generations, %d fallbacks, %d checksum failures\n",
+			s.Counters["rocpanda.restart.generations_scanned"]/nc,
+			s.Counters["rocpanda.restart.fallbacks"]/nc,
+			s.Counters["hdf.checksum_failures"])
+	}
 	names, err := fs.List("run/")
 	if err != nil {
 		fatal(err)

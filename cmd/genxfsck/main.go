@@ -1,0 +1,103 @@
+// Command genxfsck scrubs a directory of snapshot generations: for every
+// generation it verifies the commit manifest, each file's size and
+// directory checksum, and — unless -quick — reads every dataset back so
+// the per-dataset CRC32Cs cover the payload bytes. One flipped bit
+// anywhere in a committed file is reported against that file.
+//
+// Usage:
+//
+//	genxfsck [-root DIR] [-prefix PFX] [-json]
+//
+// The scrub walks the generations under -root joined with -prefix (for
+// example -root out -prefix "" scrubs out/snap*). Exit status is 0 when
+// every committed generation verifies, 1 when any generation is corrupt,
+// 2 on usage or I/O errors. Uncommitted generations — crash residue the
+// restart path already ignores — are reported but are not failures.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"genxio/internal/rt"
+	"genxio/internal/snapshot"
+)
+
+func main() {
+	root := flag.String("root", ".", "directory holding the snapshot files")
+	prefix := flag.String("prefix", "", "scrub only generations whose base starts with this prefix (relative to -root)")
+	jsonOut := flag.Bool("json", false, "emit the scrub report as JSON")
+	quick := flag.Bool("quick", false, "verify manifests, sizes and directory checksums only; skip the payload scrub")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "genxfsck: unexpected arguments %v\n", flag.Args())
+		os.Exit(2)
+	}
+
+	fsys, err := rt.NewOSFS(*root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "genxfsck: %v\n", err)
+		os.Exit(2)
+	}
+
+	var reports []snapshot.GenReport
+	if *quick {
+		reports, err = quickScrub(fsys, *prefix)
+	} else {
+		reports, err = snapshot.Fsck(fsys, *prefix)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "genxfsck: %v\n", err)
+		os.Exit(2)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reports); err != nil {
+			fmt.Fprintf(os.Stderr, "genxfsck: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		fmt.Print(snapshot.Format(reports))
+	}
+	if len(reports) == 0 {
+		fmt.Fprintf(os.Stderr, "genxfsck: no snapshot generations under %s\n", *root)
+	}
+	if !snapshot.Clean(reports) {
+		os.Exit(1)
+	}
+}
+
+// quickScrub is the manifest-level verification: Load + Verify per
+// generation, without reading dataset payloads.
+func quickScrub(fsys rt.FS, prefix string) ([]snapshot.GenReport, error) {
+	gens, err := snapshot.Generations(fsys, prefix)
+	if err != nil {
+		return nil, err
+	}
+	reports := make([]snapshot.GenReport, 0, len(gens))
+	for _, g := range gens {
+		rep := snapshot.GenReport{Base: g.Base, Verdict: snapshot.VerdictOK}
+		if !g.Committed {
+			rep.Verdict = snapshot.VerdictUncommitted
+			reports = append(reports, rep)
+			continue
+		}
+		m, err := snapshot.Load(fsys, g.Base)
+		if err == nil {
+			rep.Epoch = m.Epoch
+			err = m.Verify(fsys)
+		}
+		if err != nil {
+			rep.Verdict = snapshot.VerdictCorrupt
+			rep.Files = append(rep.Files, snapshot.FileReport{
+				Name: g.Base + snapshot.Suffix, Status: "corrupt", Detail: err.Error(),
+			})
+		}
+		reports = append(reports, rep)
+	}
+	return reports, nil
+}

@@ -11,6 +11,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"strings"
 
 	"genxio"
 	"genxio/internal/rt"
@@ -35,6 +36,10 @@ func fingerprint(fs genxio.FS, prefix string) (map[string]string, error) {
 	}
 	out := make(map[string]string)
 	for _, name := range names {
+		// Skip the commit manifests published next to the RHDF files.
+		if !strings.HasSuffix(name, ".rhdf") {
+			continue
+		}
 		r, err := genxio.OpenHDF(fs, name, rt.NewWallClock(), genxio.NullProfile())
 		if err != nil {
 			return nil, err

@@ -39,6 +39,7 @@ import (
 	"genxio/internal/rocman"
 	"genxio/internal/rocpanda"
 	"genxio/internal/rt"
+	"genxio/internal/snapshot"
 	"genxio/internal/trace"
 	"genxio/internal/workload"
 )
@@ -181,6 +182,10 @@ var (
 	OpenHDF     = hdf.Open
 )
 
+// ErrChecksum is wrapped in errors reported when stored snapshot bytes no
+// longer match their recorded CRC32C (check with errors.Is).
+var ErrChecksum = hdf.ErrChecksum
+
 // I/O service modules.
 type (
 	// RocpandaConfig configures the client-server collective I/O.
@@ -280,6 +285,42 @@ var MigratePane = rocman.MigratePane
 
 // Rebalance redistributes a window's panes toward equal per-rank load.
 var Rebalance = rocman.Rebalance
+
+// Durable snapshots: commit manifests, generation-aware restore, and the
+// deep scrub behind cmd/genxfsck. Every I/O module stages RHDF files
+// under temporary names and commits a generation by writing its manifest
+// last; restart walks generations newest-first and falls back past
+// corrupt or uncommitted ones.
+type (
+	// SnapshotManifest is a generation's commit record.
+	SnapshotManifest = snapshot.Manifest
+	// SnapshotGeneration is one discovered snapshot base.
+	SnapshotGeneration = snapshot.Generation
+	// SnapshotOptions configures a RestoreLatest walk.
+	SnapshotOptions = snapshot.Options
+	// FsckReport is one generation's scrub outcome.
+	FsckReport = snapshot.GenReport
+)
+
+// Snapshot durability helpers.
+var (
+	// CommitSnapshot writes the manifest commit record for a generation
+	// (the I/O modules do this automatically at Sync).
+	CommitSnapshot = snapshot.Commit
+	// SnapshotGenerations discovers generations under a prefix, newest
+	// first.
+	SnapshotGenerations = snapshot.Generations
+	// RestoreLatest restores from the newest verifiable generation,
+	// falling back past damaged ones.
+	RestoreLatest = snapshot.Restore
+	// PruneSnapshots removes generations beyond a retention limit.
+	PruneSnapshots = snapshot.Prune
+	// Fsck deep-scrubs every generation under a prefix (payload CRCs
+	// included); FsckFormat renders the reports, FsckClean summarizes.
+	Fsck       = snapshot.Fsck
+	FsckFormat = snapshot.Format
+	FsckClean  = snapshot.Clean
+)
 
 // Classic Panda server-directed collective I/O for regular
 // (BLOCK,...,BLOCK) distributed arrays — the baseline Rocpanda grew out

@@ -2,6 +2,7 @@ package genxio_test
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 
 	"genxio"
@@ -66,7 +67,13 @@ func TestFacadeEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	names, _ := fs.List("t/")
-	if len(names) != 1 {
+	var rhdf []string
+	for _, n := range names {
+		if strings.HasSuffix(n, ".rhdf") {
+			rhdf = append(rhdf, n)
+		}
+	}
+	if len(rhdf) != 1 {
 		t.Fatalf("files %v", names)
 	}
 }

@@ -16,8 +16,10 @@ import (
 )
 
 // BenchSchema identifies the BENCH_*.json layout; bump on breaking
-// changes so downstream tooling can dispatch.
-const BenchSchema = "genxio-bench/v1"
+// changes so downstream tooling can dispatch. v2 added the durability
+// counters (hdf.checksum_failures, rocpanda.restart.generations_scanned,
+// rocpanda.restart.fallbacks) to every module's metrics snapshot.
+const BenchSchema = "genxio-bench/v2"
 
 // BenchOpts configures the observability bench: one small integrated run
 // per I/O module on the simulated Turing platform, with a metrics
@@ -175,6 +177,14 @@ func (r *BenchResult) Format() string {
 				io.IO, s.Counters["rochdf.files_created"], s.Counters["hdf.datasets_written"],
 				s.Counters["hdf.bytes_stored"])
 		}
+	}
+	b.WriteByte('\n')
+	for _, io := range r.IOs {
+		s := io.Metrics
+		fmt.Fprintf(&b, "%-10s durability: %d checksum failures, %d restart generations scanned, %d restart fallbacks\n",
+			io.IO, s.Counters["hdf.checksum_failures"],
+			s.Counters["rocpanda.restart.generations_scanned"],
+			s.Counters["rocpanda.restart.fallbacks"])
 	}
 	return b.String()
 }

@@ -9,6 +9,7 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"strings"
 
 	"genxio/internal/cluster"
 	"genxio/internal/mpi"
@@ -59,12 +60,19 @@ func bestOf(runs int, pick func(*rocman.Report) float64, fn func(seed uint64) (*
 	return best, bestWorld, nil
 }
 
-// countSnapshotFiles counts the files of one snapshot in a finished
-// simulated world.
+// countSnapshotFiles counts the scientific files of one snapshot in a
+// finished simulated world — the count behind Table 1's file-management
+// comparison, so commit manifests and staged temporaries are excluded.
 func countSnapshotFiles(world *cluster.World, prefix string) int {
 	names, err := world.FSModel().Backing().List(prefix)
 	if err != nil {
 		return 0
 	}
-	return len(names)
+	n := 0
+	for _, name := range names {
+		if strings.HasSuffix(name, ".rhdf") {
+			n++
+		}
+	}
+	return n
 }

@@ -1,0 +1,69 @@
+package faults
+
+import (
+	"fmt"
+
+	"genxio/internal/rt"
+)
+
+// Direct corruption injection: unlike the FSPlan rules, which fail
+// operations as they happen, these helpers damage bytes already at rest —
+// the model for media decay, torn sectors, or a crash that left a partial
+// tail. They operate on committed files, so tests can corrupt a snapshot
+// after the writer is long gone and assert that restart detects it.
+
+// FlipBit flips the bit at bitOffset (counted from the start of the file,
+// MSB-first within each byte) in the named file.
+func FlipBit(fsys rt.FS, name string, bitOffset int64) error {
+	if bitOffset < 0 {
+		return fmt.Errorf("faults: flip bit %s: negative bit offset %d", name, bitOffset)
+	}
+	f, err := fsys.Open(name)
+	if err != nil {
+		return fmt.Errorf("faults: flip bit %s: %w", name, err)
+	}
+	defer f.Close()
+	size, err := f.Size()
+	if err != nil {
+		return fmt.Errorf("faults: flip bit %s: %w", name, err)
+	}
+	byteOff := bitOffset / 8
+	if byteOff >= size {
+		return fmt.Errorf("faults: flip bit %s: bit %d is past EOF (%d bytes)", name, bitOffset, size)
+	}
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], byteOff); err != nil {
+		return fmt.Errorf("faults: flip bit %s: %w", name, err)
+	}
+	b[0] ^= 1 << (7 - uint(bitOffset%8))
+	if _, err := f.WriteAt(b[:], byteOff); err != nil {
+		return fmt.Errorf("faults: flip bit %s: %w", name, err)
+	}
+	return nil
+}
+
+// TruncateTail cuts the last n bytes off the named file — the shape a torn
+// write or an interrupted transfer leaves behind. Truncating by more than
+// the file holds empties it.
+func TruncateTail(fsys rt.FS, name string, n int64) error {
+	if n < 0 {
+		return fmt.Errorf("faults: truncate tail %s: negative count %d", name, n)
+	}
+	f, err := fsys.Open(name)
+	if err != nil {
+		return fmt.Errorf("faults: truncate tail %s: %w", name, err)
+	}
+	defer f.Close()
+	size, err := f.Size()
+	if err != nil {
+		return fmt.Errorf("faults: truncate tail %s: %w", name, err)
+	}
+	keep := size - n
+	if keep < 0 {
+		keep = 0
+	}
+	if err := f.Truncate(keep); err != nil {
+		return fmt.Errorf("faults: truncate tail %s: %w", name, err)
+	}
+	return nil
+}

@@ -1,0 +1,136 @@
+package faults
+
+import (
+	"bytes"
+	"testing"
+
+	"genxio/internal/rt"
+)
+
+func writeBytes(t *testing.T, fsys rt.FS, name string, data []byte) {
+	t.Helper()
+	f, err := fsys.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func readBytes(t *testing.T, fsys rt.FS, name string) []byte {
+	t.Helper()
+	f, err := fsys.Open(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sz, _ := f.Size()
+	b := make([]byte, sz)
+	if sz > 0 {
+		if _, err := f.ReadAt(b, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b
+}
+
+func TestFlipBit(t *testing.T) {
+	fsys := rt.NewMemFS()
+	writeBytes(t, fsys, "f", []byte{0x00, 0xff, 0x81})
+
+	// Bit 0 is the MSB of byte 0.
+	if err := FlipBit(fsys, "f", 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := readBytes(t, fsys, "f"); !bytes.Equal(got, []byte{0x80, 0xff, 0x81}) {
+		t.Fatalf("after flipping bit 0: %x", got)
+	}
+	// Bit 15 is the LSB of byte 1.
+	if err := FlipBit(fsys, "f", 15); err != nil {
+		t.Fatal(err)
+	}
+	if got := readBytes(t, fsys, "f"); !bytes.Equal(got, []byte{0x80, 0xfe, 0x81}) {
+		t.Fatalf("after flipping bit 15: %x", got)
+	}
+	// Flipping the same bits again restores the original — the injection
+	// is its own inverse, which keeps corruption tests deterministic.
+	if err := FlipBit(fsys, "f", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := FlipBit(fsys, "f", 15); err != nil {
+		t.Fatal(err)
+	}
+	if got := readBytes(t, fsys, "f"); !bytes.Equal(got, []byte{0x00, 0xff, 0x81}) {
+		t.Fatalf("double flip did not restore: %x", got)
+	}
+
+	if err := FlipBit(fsys, "f", 24); err == nil {
+		t.Fatal("flipped a bit past EOF")
+	}
+	if err := FlipBit(fsys, "f", -1); err == nil {
+		t.Fatal("flipped a negative bit")
+	}
+	if err := FlipBit(fsys, "missing", 0); err == nil {
+		t.Fatal("flipped a bit of a missing file")
+	}
+}
+
+func TestTruncateTail(t *testing.T) {
+	fsys := rt.NewMemFS()
+	writeBytes(t, fsys, "f", []byte("0123456789"))
+
+	if err := TruncateTail(fsys, "f", 4); err != nil {
+		t.Fatal(err)
+	}
+	if got := readBytes(t, fsys, "f"); !bytes.Equal(got, []byte("012345")) {
+		t.Fatalf("after truncating 4: %q", got)
+	}
+	// Cutting more than the file holds empties it.
+	if err := TruncateTail(fsys, "f", 100); err != nil {
+		t.Fatal(err)
+	}
+	if got := readBytes(t, fsys, "f"); len(got) != 0 {
+		t.Fatalf("after truncating past start: %q", got)
+	}
+
+	if err := TruncateTail(fsys, "f", -1); err == nil {
+		t.Fatal("truncated by a negative count")
+	}
+	if err := TruncateTail(fsys, "missing", 1); err == nil {
+		t.Fatal("truncated a missing file")
+	}
+}
+
+// TestDropRename: the crash-between-write-and-commit model — the rename
+// reports success, the temp file stays, the final name never appears, and
+// the trip is recorded.
+func TestDropRename(t *testing.T) {
+	plan := NewFSPlan(1, FSRule{Op: OpRename, PathPrefix: "out/", Nth: 1, DropRename: true})
+	fsys := WrapFS(rt.NewMemFS(), plan)
+	writeBytes(t, fsys, "out/a.tmp", []byte("staged"))
+
+	if err := fsys.Rename("out/a.tmp", "out/a"); err != nil {
+		t.Fatalf("dropped rename must report success: %v", err)
+	}
+	if _, err := fsys.Open("out/a"); err == nil {
+		t.Fatal("final name appeared despite the dropped rename")
+	}
+	if got := readBytes(t, fsys, "out/a.tmp"); !bytes.Equal(got, []byte("staged")) {
+		t.Fatalf("staged file changed: %q", got)
+	}
+	if len(plan.Trips()) != 1 {
+		t.Fatalf("trips %v", plan.Trips())
+	}
+
+	// The rule fired; the second rename goes through.
+	if err := fsys.Rename("out/a.tmp", "out/a"); err != nil {
+		t.Fatal(err)
+	}
+	if got := readBytes(t, fsys, "out/a"); !bytes.Equal(got, []byte("staged")) {
+		t.Fatalf("committed content %q", got)
+	}
+}

@@ -18,6 +18,7 @@ const (
 	OpWrite    FSOp = "write"
 	OpRead     FSOp = "read"
 	OpTruncate FSOp = "truncate"
+	OpRename   FSOp = "rename"
 )
 
 // FSRule fails matching filesystem operations. Operation counts are kept
@@ -43,6 +44,10 @@ type FSRule struct {
 	// instead of failing it outright (an io.ErrShortWrite-style fault:
 	// the tail of the buffer silently never reaches the file).
 	ShortBy int
+	// DropRename, for OpRename, makes the rename report success without
+	// moving the file — the crash-between-write-and-commit model: the temp
+	// file stays orphaned and the final name never appears.
+	DropRename bool
 	// Msg is the failure detail, e.g. "no space left on device"; a
 	// default is supplied when empty.
 	Msg string
@@ -169,6 +174,16 @@ func (f *faultFS) Remove(name string) error {
 		return r.err(OpRemove, name)
 	}
 	return f.inner.Remove(name)
+}
+
+func (f *faultFS) Rename(oldname, newname string) error {
+	if r, ok := f.plan.check(OpRename, oldname); ok {
+		if r.DropRename {
+			return nil
+		}
+		return r.err(OpRename, oldname)
+	}
+	return f.inner.Rename(oldname, newname)
 }
 
 func (f *faultFS) List(prefix string) ([]string, error) { return f.inner.List(prefix) }

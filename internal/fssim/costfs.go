@@ -46,6 +46,11 @@ func (c *costFS) Remove(name string) error {
 	return c.fs.Remove(name)
 }
 
+func (c *costFS) Rename(oldname, newname string) error {
+	c.ops.meta()
+	return c.fs.Rename(oldname, newname)
+}
+
 func (c *costFS) List(prefix string) ([]string, error) {
 	c.ops.meta()
 	return c.fs.List(prefix)

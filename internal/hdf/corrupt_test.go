@@ -1,0 +1,240 @@
+package hdf
+
+// Hardening tests: hand-corrupted headers and directories must come back
+// as errors with file context — never panics, never absurd allocations —
+// and payload damage must surface as ErrChecksum.
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"genxio/internal/metrics"
+	"genxio/internal/rt"
+)
+
+// validFileBytes writes a small committed RHDF file and returns its raw
+// bytes for mutation.
+func validFileBytes(t *testing.T) []byte {
+	t.Helper()
+	fsys, clock := newFile(t)
+	w, err := Create(fsys, "v.rhdf", clock, NullProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.CreateDataset("fluid.1.p", F64, []int64{4}, []Attr{F64Attr("time", 0.5)}, F64Bytes([]float64{1, 2, 3, 4})); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.CreateDataset("fluid.1.T", F64, []int64{2}, nil, F64Bytes([]float64{300, 301})); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fsys.Open("v.rhdf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sz, _ := f.Size()
+	b := make([]byte, sz)
+	if _, err := f.ReadAt(b, 0); err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func openRaw(t *testing.T, b []byte) error {
+	t.Helper()
+	fsys := rt.NewMemFS()
+	f, _ := fsys.Create("m.rhdf")
+	if len(b) > 0 {
+		if _, err := f.WriteAt(b, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.Close()
+	r, err := Open(fsys, "m.rhdf", rt.NewWallClock(), NullProfile())
+	if err == nil {
+		r.Close()
+	}
+	return err
+}
+
+func TestCorruptHeaderRejected(t *testing.T) {
+	valid := validFileBytes(t)
+	// Sanity: the unmutated bytes open cleanly.
+	if err := openRaw(t, valid); err != nil {
+		t.Fatalf("pristine copy rejected: %v", err)
+	}
+	dirOff := binary.LittleEndian.Uint64(valid[8:])
+
+	cases := []struct {
+		name   string
+		mutate func(b []byte) []byte
+	}{
+		{"empty file", func(b []byte) []byte { return nil }},
+		{"truncated header", func(b []byte) []byte { return b[:headerSize-7] }},
+		{"bad magic", func(b []byte) []byte { b[0] = 'X'; return b }},
+		{"version zero", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[4:], 0)
+			return b
+		}},
+		{"version from the future", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[4:], Version+1)
+			return b
+		}},
+		{"directory offset zero", func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[8:], 0)
+			return b
+		}},
+		{"directory offset before header end", func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[8:], headerSize-1)
+			return b
+		}},
+		{"directory offset past EOF", func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[8:], uint64(len(b))+100)
+			return b
+		}},
+		{"directory offset wraps negative", func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[8:], 1<<63)
+			return b
+		}},
+		{"absurd dataset count", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[16:], 0xfffffff)
+			return b
+		}},
+		{"count disagrees with directory", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[16:], 1)
+			return b
+		}},
+		{"truncated directory", func(b []byte) []byte { return b[:len(b)-3] }},
+		{"directory count inflated", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[dirOff:], 0x7fffffff)
+			return b
+		}},
+		{"dataset offset outside data region", func(b []byte) []byte {
+			// First entry layout: u32 count, u16 name len, name, u8 type,
+			// u8 flags, u8 ndims, dims..., then u64 offset.
+			p := dirOff + 4
+			nameLen := uint64(binary.LittleEndian.Uint16(b[p:]))
+			p += 2 + nameLen + 3 + 8 // name, type/flags/ndims, one dim
+			binary.LittleEndian.PutUint64(b[p:], uint64(len(b))+1000)
+			return b
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := tc.mutate(append([]byte(nil), valid...))
+			if err := openRaw(t, b); err == nil {
+				t.Fatal("corrupt file accepted")
+			}
+		})
+	}
+}
+
+// TestChecksumMismatchOnRead flips one payload bit: the directory still
+// parses, so Open succeeds, but ReadData must fail with ErrChecksum and
+// bump hdf.checksum_failures.
+func TestChecksumMismatchOnRead(t *testing.T) {
+	b := validFileBytes(t)
+	b[headerSize+3] ^= 0x10 // inside the first dataset's payload
+
+	fsys := rt.NewMemFS()
+	f, _ := fsys.Create("flip.rhdf")
+	f.WriteAt(b, 0)
+	f.Close()
+
+	reg := metrics.New()
+	r, err := Open(fsys, "flip.rhdf", rt.NewWallClock(), NullProfile())
+	if err != nil {
+		t.Fatalf("payload damage must not fail Open (directory is intact): %v", err)
+	}
+	defer r.Close()
+	r.Metrics = reg
+	ds, ok := r.Lookup("fluid.1.p")
+	if !ok {
+		t.Fatal("dataset missing")
+	}
+	if want, ok := ds.CRC(); !ok || want == 0 {
+		t.Fatalf("v3 dataset carries no CRC: %v %v", want, ok)
+	}
+	_, err = r.ReadData(ds)
+	if !errors.Is(err, ErrChecksum) {
+		t.Fatalf("ReadData error = %v, want ErrChecksum", err)
+	}
+	for _, frag := range []string{"flip.rhdf", "fluid.1.p"} {
+		if !contains(err.Error(), frag) {
+			t.Fatalf("checksum error %q lacks context %q", err, frag)
+		}
+	}
+	if got := reg.Counter("hdf.checksum_failures").Value(); got != 1 {
+		t.Fatalf("hdf.checksum_failures = %d, want 1", got)
+	}
+	// The undamaged dataset still reads.
+	ds2, _ := r.Lookup("fluid.1.T")
+	if _, err := r.ReadData(ds2); err != nil {
+		t.Fatalf("undamaged dataset unreadable: %v", err)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// TestCreateLeavesPreviousFileUntilCommit is the atomic-replace
+// regression test: a new Create over an existing name stages at a
+// temporary, so a crash (no Close) or a failed commit rename leaves the
+// previous committed file bit-identical.
+func TestCreateLeavesPreviousFileUntilCommit(t *testing.T) {
+	fsys, clock := newFile(t)
+	w, err := Create(fsys, "snap.rhdf", clock, NullProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := F64Bytes([]float64{10, 20, 30})
+	if err := w.CreateDataset("x", F64, []int64{3}, nil, old); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash mid-rewrite: the writer stages at snap.rhdf.tmp and never
+	// commits.
+	w2, err := Create(fsys, "snap.rhdf", clock, NullProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.CreateDataset("x", F64, []int64{1}, nil, F64Bytes([]float64{-1})); err != nil {
+		t.Fatal(err)
+	}
+	// no Close — simulated crash
+
+	r, err := Open(fsys, "snap.rhdf", clock, NullProfile())
+	if err != nil {
+		t.Fatalf("previous generation unreadable after crashed rewrite: %v", err)
+	}
+	defer r.Close()
+	ds, ok := r.Lookup("x")
+	if !ok {
+		t.Fatal("dataset gone")
+	}
+	got, err := r.ReadData(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(old) {
+		t.Fatal("previous file's data changed before the new one committed")
+	}
+	// The staged temporary is visible as residue, never under the final
+	// name.
+	if _, err := fsys.Open("snap.rhdf" + TmpSuffix); err != nil {
+		t.Fatalf("staged temporary missing: %v", err)
+	}
+}

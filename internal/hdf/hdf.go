@@ -17,7 +17,9 @@ package hdf
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"math"
 )
 
@@ -25,10 +27,31 @@ import (
 const Magic = "RHDF"
 
 // Version is the current format version. Version 2 added the per-dataset
-// flags byte (deflate compression).
-const Version = 2
+// flags byte (deflate compression); version 3 added a CRC32C per directory
+// entry covering the stored dataset bytes. Readers accept both.
+const Version = 3
+
+// minVersion is the oldest format version readers still accept.
+const minVersion = 2
 
 const headerSize = 24 // magic(4) version(4) dirOffset(8) numSets(4) reserved(4)
+
+// HeaderSize returns the fixed RHDF header length in bytes. Corruption
+// tooling uses it to aim injected damage at payload or directory bytes
+// rather than the header.
+func HeaderSize() int64 { return headerSize }
+
+// ErrChecksum is wrapped in errors reported when stored bytes do not match
+// their recorded CRC32C — the file committed but has since been damaged.
+var ErrChecksum = errors.New("hdf: checksum mismatch")
+
+// crcTable is the Castagnoli polynomial table shared by writers, readers
+// and the snapshot manifest layer.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Checksum returns the CRC32C of b, the integrity check used throughout
+// the RHDF format and the snapshot manifests.
+func Checksum(b []byte) uint32 { return crc32.Checksum(b, crcTable) }
 
 // DType enumerates dataset element types.
 type DType uint8
@@ -105,7 +128,10 @@ func (a Attr) F64s() []float64 { return BytesF64(a.Data) }
 func (a Attr) I32s() []int32 { return BytesI32(a.Data) }
 
 // Dataset flag bits.
-const flagDeflate = 1 << 0
+const (
+	flagDeflate = 1 << 0
+	flagHasCRC  = 1 << 1 // crc field is valid (v3 writers; v2 datasets lack it)
+)
 
 // Dataset describes one named array in a file.
 type Dataset struct {
@@ -115,12 +141,17 @@ type Dataset struct {
 	Attrs []Attr
 
 	flags  uint8
-	offset int64 // file offset of the stored data
-	length int64 // stored data length in bytes (compressed size if deflated)
+	offset int64  // file offset of the stored data
+	length int64  // stored data length in bytes (compressed size if deflated)
+	crc    uint32 // CRC32C of the stored bytes, valid when flagHasCRC is set
 }
 
 // Compressed reports whether the dataset is stored deflate-compressed.
 func (d *Dataset) Compressed() bool { return d.flags&flagDeflate != 0 }
+
+// CRC returns the recorded CRC32C of the stored bytes and whether the
+// dataset carries one (version-2 files and their appended datasets do not).
+func (d *Dataset) CRC() (uint32, bool) { return d.crc, d.flags&flagHasCRC != 0 }
 
 // Len returns the number of elements (product of Dims).
 func (d *Dataset) Len() int64 {

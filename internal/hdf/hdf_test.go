@@ -472,16 +472,17 @@ func TestBinaryPortabilityGolden(t *testing.T) {
 	f.Close()
 
 	want := []byte{
-		'R', 'H', 'D', 'F', 2, 0, 0, 0, // magic, version
+		'R', 'H', 'D', 'F', 3, 0, 0, 0, // magic, version
 		32, 0, 0, 0, 0, 0, 0, 0, // dir offset = 24 + 8 data bytes
 		1, 0, 0, 0, 0, 0, 0, 0, // 1 dataset + reserved
 		0xff, 0xff, 0xff, 0xff, 2, 1, 0, 0, // -1, 258 little-endian
 		1, 0, 0, 0, // dir: count=1
 		1, 0, 'g', // name
-		byte(I32), 0, 1, // type, flags, ndims
+		byte(I32), 2, 1, // type, flags (hasCRC), ndims
 		2, 0, 0, 0, 0, 0, 0, 0, // dims[0]=2
 		24, 0, 0, 0, 0, 0, 0, 0, // offset
 		8, 0, 0, 0, 0, 0, 0, 0, // length
+		0x00, 0x4e, 0xd9, 0xe5, // crc32c of the 8 stored bytes
 		1, 0, // nattrs
 		1, 0, 'u', // attr name
 		byte(U8),

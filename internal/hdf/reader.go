@@ -42,38 +42,35 @@ func Open(fsys rt.FS, name string, clock rt.Clock, cost CostProfile) (*Reader, e
 }
 
 func newReader(f rt.File, clock rt.Clock, cost CostProfile) (*Reader, error) {
-	hdr := make([]byte, headerSize)
-	if _, err := f.ReadAt(hdr, 0); err != nil {
-		return nil, fmt.Errorf("hdf: reading header of %s: %w", f.Name(), err)
-	}
-	if string(hdr[:4]) != Magic {
-		return nil, fmt.Errorf("hdf: %s is not an RHDF file", f.Name())
-	}
-	if v := binary.LittleEndian.Uint32(hdr[4:]); v != Version {
-		return nil, fmt.Errorf("hdf: %s has version %d, want %d", f.Name(), v, Version)
-	}
-	dirOff := int64(binary.LittleEndian.Uint64(hdr[8:]))
-	count := int(binary.LittleEndian.Uint32(hdr[16:]))
-	if dirOff == 0 {
-		return nil, fmt.Errorf("hdf: %s has no directory (incomplete write?)", f.Name())
-	}
 	size, err := f.Size()
 	if err != nil {
 		return nil, err
 	}
-	if dirOff > size {
-		return nil, fmt.Errorf("hdf: %s directory offset %d beyond EOF %d", f.Name(), dirOff, size)
+	version, dirOff, count, err := readHeader(f, size)
+	if err != nil {
+		return nil, err
 	}
 	dir := make([]byte, size-dirOff)
 	if _, err := f.ReadAt(dir, dirOff); err != nil {
 		return nil, fmt.Errorf("hdf: reading directory of %s: %w", f.Name(), err)
 	}
-	sets, err := decodeDir(dir)
+	sets, err := decodeDir(dir, version)
 	if err != nil {
 		return nil, fmt.Errorf("hdf: %s: %w", f.Name(), err)
 	}
 	if len(sets) != count {
 		return nil, fmt.Errorf("hdf: %s header says %d datasets, directory has %d", f.Name(), count, len(sets))
+	}
+	for _, d := range sets {
+		if d.offset < headerSize || d.length < 0 || d.offset+d.length < d.offset || d.offset+d.length > dirOff {
+			return nil, fmt.Errorf("hdf: %s dataset %q extent [%d,+%d) outside data region [%d,%d)",
+				f.Name(), d.Name, d.offset, d.length, headerSize, dirOff)
+		}
+		for _, dim := range d.Dims {
+			if dim < 0 {
+				return nil, fmt.Errorf("hdf: %s dataset %q has negative dimension %d", f.Name(), d.Name, dim)
+			}
+		}
 	}
 	r := &Reader{f: f, clock: clock, cost: cost, sets: sets, names: make(map[string]int, len(sets)), dirOff: dirOff}
 	for i, d := range sets {
@@ -124,11 +121,20 @@ func (r *Reader) LookupPrefix(prefix string) []*Dataset {
 }
 
 // ReadData reads a dataset's logical bytes, inflating deflate-compressed
-// storage transparently.
+// storage transparently. Datasets carrying a CRC32C (version-3 writers)
+// are verified before use; a mismatch reports ErrChecksum with file and
+// dataset context and bumps the hdf.checksum_failures counter.
 func (r *Reader) ReadData(d *Dataset) ([]byte, error) {
 	buf := make([]byte, d.length)
 	if _, err := r.f.ReadAt(buf, d.offset); err != nil {
 		return nil, fmt.Errorf("hdf: reading %q: %w", d.Name, err)
+	}
+	if want, ok := d.CRC(); ok {
+		if got := Checksum(buf); got != want {
+			r.Metrics.Counter("hdf.checksum_failures").Inc()
+			return nil, fmt.Errorf("%w: %s dataset %q: stored crc32c %08x, computed %08x",
+				ErrChecksum, r.f.Name(), d.Name, want, got)
+		}
 	}
 	r.Metrics.Counter("hdf.datasets_read").Inc()
 	r.Metrics.Counter("hdf.bytes_read").Add(int64(len(buf)))
@@ -150,9 +156,51 @@ func (r *Reader) ReadData(d *Dataset) ([]byte, error) {
 // Close closes the underlying file.
 func (r *Reader) Close() error { return r.f.Close() }
 
-func decodeDir(b []byte) ([]*Dataset, error) {
+// readHeader validates the fixed header against the actual file size and
+// returns (version, dirOff, count). All failure modes of garbage input —
+// wrong magic, unknown version, offsets outside the file — are errors,
+// never panics.
+func readHeader(f rt.File, size int64) (uint32, int64, int, error) {
+	if size < headerSize {
+		return 0, 0, 0, fmt.Errorf("hdf: %s too short for a header (%d bytes)", f.Name(), size)
+	}
+	hdr := make([]byte, headerSize)
+	if _, err := f.ReadAt(hdr, 0); err != nil {
+		return 0, 0, 0, fmt.Errorf("hdf: reading header of %s: %w", f.Name(), err)
+	}
+	if string(hdr[:4]) != Magic {
+		return 0, 0, 0, fmt.Errorf("hdf: %s is not an RHDF file", f.Name())
+	}
+	version := binary.LittleEndian.Uint32(hdr[4:])
+	if version < minVersion || version > Version {
+		return 0, 0, 0, fmt.Errorf("hdf: %s has version %d, want %d..%d", f.Name(), version, minVersion, Version)
+	}
+	dirOff := int64(binary.LittleEndian.Uint64(hdr[8:]))
+	count := int(binary.LittleEndian.Uint32(hdr[16:]))
+	if dirOff == 0 {
+		return 0, 0, 0, fmt.Errorf("hdf: %s has no directory (incomplete write?)", f.Name())
+	}
+	if dirOff < headerSize || dirOff > size {
+		return 0, 0, 0, fmt.Errorf("hdf: %s directory offset %d outside file [%d,%d]", f.Name(), dirOff, headerSize, size)
+	}
+	// A directory entry is at least 22 bytes (empty name, no dims, no
+	// attrs) in every version, so a header claiming more sets than could
+	// fit is garbage — reject it before decodeDir sizes any allocation.
+	if maxSets := (size - dirOff) / 22; int64(count) > maxSets || count < 0 {
+		return 0, 0, 0, fmt.Errorf("hdf: %s header claims %d datasets, directory holds at most %d", f.Name(), count, maxSets)
+	}
+	return version, dirOff, count, nil
+}
+
+func decodeDir(b []byte, version uint32) ([]*Dataset, error) {
 	p := &parser{b: b}
 	n := int(p.u32())
+	// Cap the allocation by what the directory bytes could possibly hold;
+	// the count is validated against the header afterwards.
+	maxSets := len(b) / 22
+	if n > maxSets {
+		return nil, fmt.Errorf("corrupt directory: %d datasets cannot fit in %d bytes", n, len(b))
+	}
 	sets := make([]*Dataset, 0, n)
 	for i := 0; i < n; i++ {
 		d := &Dataset{}
@@ -166,6 +214,11 @@ func decodeDir(b []byte) ([]*Dataset, error) {
 		}
 		d.offset = int64(p.u64())
 		d.length = int64(p.u64())
+		if version >= 3 {
+			d.crc = p.u32()
+		} else {
+			d.flags &^= flagHasCRC
+		}
 		na := int(p.u16())
 		d.Attrs = make([]Attr, na)
 		for j := range d.Attrs {
@@ -180,6 +233,30 @@ func decodeDir(b []byte) ([]*Dataset, error) {
 		sets = append(sets, d)
 	}
 	return sets, nil
+}
+
+// DirInfo summarizes a committed RHDF file for the snapshot manifest: its
+// size, the CRC32C of its directory bytes, and its dataset count. It reads
+// only the header and directory, not the dataset payloads.
+func DirInfo(fsys rt.FS, name string) (size int64, dirCRC uint32, numSets int, err error) {
+	f, err := fsys.Open(name)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer f.Close()
+	size, err = f.Size()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	_, dirOff, count, err := readHeader(f, size)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	dir := make([]byte, size-dirOff)
+	if _, err := f.ReadAt(dir, dirOff); err != nil {
+		return 0, 0, 0, fmt.Errorf("hdf: reading directory of %s: %w", f.Name(), err)
+	}
+	return size, Checksum(dir), count, nil
 }
 
 // parser is a bounds-checked little-endian cursor.

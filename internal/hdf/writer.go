@@ -12,10 +12,16 @@ import (
 
 // Writer creates or extends an RHDF file. Datasets are appended
 // sequentially; the directory is written at Close and the header patched to
-// point at it, so an interrupted write leaves the previous directory (if
-// any) intact.
+// point at it. New files are staged under a temporary name and renamed into
+// place only when Close succeeds, so a crashed or failed write never
+// replaces a previous snapshot file; appends write past the existing
+// directory and patch the header last, so an interrupted append leaves the
+// previous directory (and every dataset it describes) intact.
 type Writer struct {
 	f      rt.File
+	fsys   rt.FS
+	final  string // committed name; staged writes go to final+TmpSuffix
+	staged bool   // true for Create (rename at Close), false for append
 	clock  rt.Clock
 	cost   CostProfile
 	sets   []*Dataset
@@ -34,14 +40,29 @@ type Writer struct {
 	Metrics *metrics.Registry
 }
 
-// Create starts a new RHDF file named name on fsys, truncating any existing
-// file. Management overhead is charged to clock according to cost.
+// TmpSuffix marks a staged file that has not been renamed into place yet.
+// A *.rhdf.tmp left behind is an uncommitted write, never restart input.
+const TmpSuffix = ".tmp"
+
+// Create starts a new RHDF file named name on fsys. The bytes are staged
+// at name+TmpSuffix and renamed to name only when Close succeeds, so an
+// existing file under name survives any failure in between. Management
+// overhead is charged to clock according to cost.
 func Create(fsys rt.FS, name string, clock rt.Clock, cost CostProfile) (*Writer, error) {
-	f, err := fsys.Create(name)
+	f, err := fsys.Create(name + TmpSuffix)
 	if err != nil {
 		return nil, err
 	}
-	w := &Writer{f: f, clock: clock, cost: cost, names: make(map[string]int), off: headerSize}
+	w := &Writer{
+		f:      f,
+		fsys:   fsys,
+		final:  name,
+		staged: true,
+		clock:  clock,
+		cost:   cost,
+		names:  make(map[string]int),
+		off:    headerSize,
+	}
 	// Reserve the header; the directory offset is patched at Close.
 	hdr := make([]byte, headerSize)
 	copy(hdr, Magic)
@@ -54,19 +75,27 @@ func Create(fsys rt.FS, name string, clock rt.Clock, cost CostProfile) (*Writer,
 }
 
 // OpenAppend opens an existing RHDF file for appending more datasets. New
-// data overwrite the old directory, which is rewritten at Close.
+// data land after the old directory, which stays valid until Close patches
+// the header to the new one — the commit point of the append.
 func OpenAppend(fsys rt.FS, name string, clock rt.Clock, cost CostProfile) (*Writer, error) {
 	r, err := Open(fsys, name, clock, cost)
 	if err != nil {
 		return nil, err
 	}
+	size, err := r.f.Size()
+	if err != nil {
+		r.f.Close()
+		return nil, err
+	}
 	w := &Writer{
 		f:     r.f,
+		fsys:  fsys,
+		final: name,
 		clock: clock,
 		cost:  cost,
 		sets:  r.sets,
 		names: make(map[string]int, len(r.sets)),
-		off:   r.dirOff,
+		off:   size,
 	}
 	for i, d := range r.sets {
 		w.names[d.Name] = i
@@ -82,10 +111,10 @@ func (w *Writer) NumDatasets() int { return len(w.sets) }
 // be unique within a file.
 func (w *Writer) CreateDataset(name string, typ DType, dims []int64, attrs []Attr, data []byte) error {
 	if w.closed {
-		return fmt.Errorf("hdf: write to closed writer %s", w.f.Name())
+		return fmt.Errorf("hdf: write to closed writer %s", w.final)
 	}
 	if _, dup := w.names[name]; dup {
-		return fmt.Errorf("hdf: duplicate dataset %q in %s", name, w.f.Name())
+		return fmt.Errorf("hdf: duplicate dataset %q in %s", name, w.final)
 	}
 	n := int64(1)
 	for _, d := range dims {
@@ -128,9 +157,10 @@ func (w *Writer) CreateDataset(name string, typ DType, dims []int64, attrs []Att
 		Type:   typ,
 		Dims:   append([]int64(nil), dims...),
 		Attrs:  append([]Attr(nil), attrs...),
-		flags:  flags,
+		flags:  flags | flagHasCRC,
 		offset: w.off,
 		length: int64(len(stored)),
+		crc:    Checksum(stored),
 	}
 	w.names[name] = len(w.sets)
 	w.sets = append(w.sets, ds)
@@ -141,7 +171,10 @@ func (w *Writer) CreateDataset(name string, typ DType, dims []int64, attrs []Att
 	return nil
 }
 
-// Close writes the directory, patches the header, and closes the file.
+// Close writes the directory, patches the header, closes the file, and —
+// for newly created files — renames the staged bytes into place. Any
+// failure before the rename leaves the previous file (if one existed)
+// untouched, with the staged *.tmp orphan as the only residue.
 func (w *Writer) Close() error {
 	if w.closed {
 		return nil
@@ -165,10 +198,18 @@ func (w *Writer) Close() error {
 		w.f.Close()
 		return fmt.Errorf("hdf: patching header: %w", err)
 	}
-	return w.f.Close()
+	if err := w.f.Close(); err != nil {
+		return err
+	}
+	if w.staged {
+		if err := w.fsys.Rename(w.final+TmpSuffix, w.final); err != nil {
+			return fmt.Errorf("hdf: committing %s: %w", w.final, err)
+		}
+	}
+	return nil
 }
 
-// encodeDir serializes the dataset directory.
+// encodeDir serializes the dataset directory (version-3 layout).
 func encodeDir(sets []*Dataset) []byte {
 	var b []byte
 	b = binary.LittleEndian.AppendUint32(b, uint32(len(sets)))
@@ -182,6 +223,7 @@ func encodeDir(sets []*Dataset) []byte {
 		}
 		b = binary.LittleEndian.AppendUint64(b, uint64(d.offset))
 		b = binary.LittleEndian.AppendUint64(b, uint64(d.length))
+		b = binary.LittleEndian.AppendUint32(b, d.crc)
 		b = binary.LittleEndian.AppendUint16(b, uint16(len(d.Attrs)))
 		for _, a := range d.Attrs {
 			b = appendString(b, a.Name)

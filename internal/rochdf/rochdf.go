@@ -28,6 +28,7 @@ import (
 	"genxio/internal/mpi"
 	"genxio/internal/roccom"
 	"genxio/internal/rt"
+	"genxio/internal/snapshot"
 )
 
 // Config configures a Rochdf instance.
@@ -44,6 +45,9 @@ type Config struct {
 	// Metrics, if set, receives rochdf.* (or trochdf.* when Threaded)
 	// counters and latency histograms. A nil registry disables recording.
 	Metrics *metrics.Registry
+	// RetainGenerations, when > 0, prunes committed snapshot generations
+	// beyond the newest N at every Sync. 0 keeps everything.
+	RetainGenerations int
 }
 
 // Metrics accumulates the per-process costs the paper reports.
@@ -60,10 +64,17 @@ type Metrics struct {
 // Rochdf is one process's individual-I/O service.
 type Rochdf struct {
 	rank    int
+	comm    mpi.Comm
 	clock   rt.Clock
 	fs      rt.FS
 	cfg     Config
 	created map[string]bool // file names already created (append afterwards)
+
+	// Generations written since the last Sync, in write order. The write
+	// path is collective, so every rank accumulates the same list; rank 0
+	// commits the manifests once all ranks agree the drain succeeded.
+	pending    []pendingGen
+	pendingSet map[string]bool
 
 	// T-Rochdf state.
 	jobs        rt.Queue
@@ -108,6 +119,13 @@ func newHdfMx(r *metrics.Registry, threaded bool) hdfMx {
 	return mx
 }
 
+// pendingGen is one snapshot generation awaiting manifest commit.
+type pendingGen struct {
+	base  string
+	epoch int64
+	time  float64
+}
+
 type writeJob struct {
 	fname   string
 	newFile bool
@@ -121,12 +139,14 @@ type writeJob struct {
 // process, as in the paper).
 func New(ctx mpi.Ctx, cfg Config) *Rochdf {
 	h := &Rochdf{
-		rank:    ctx.Comm().Rank(),
-		clock:   ctx.Clock(),
-		fs:      ctx.FS(),
-		cfg:     cfg,
-		created: make(map[string]bool),
-		mx:      newHdfMx(cfg.Metrics, cfg.Threaded),
+		rank:       ctx.Comm().Rank(),
+		comm:       ctx.Comm(),
+		clock:      ctx.Clock(),
+		fs:         ctx.FS(),
+		cfg:        cfg,
+		created:    make(map[string]bool),
+		pendingSet: make(map[string]bool),
+		mx:         newHdfMx(cfg.Metrics, cfg.Threaded),
 	}
 	if cfg.Threaded {
 		h.jobs = ctx.NewQueue(8)
@@ -183,6 +203,10 @@ func (h *Rochdf) WriteAttribute(file string, w *roccom.Window, attr string, tm f
 		h.created[fname] = true
 		h.m.FilesCreated++
 		h.mx.filesCreated.Inc()
+	}
+	if !h.pendingSet[file] {
+		h.pendingSet[file] = true
+		h.pending = append(h.pending, pendingGen{base: file, epoch: int64(step), time: tm})
 	}
 	job := writeJob{fname: fname, newFile: newFile, sets: sets, time: tm, step: step}
 
@@ -348,8 +372,10 @@ func (h *Rochdf) ReadAttribute(file string, w *roccom.Window, attr string) error
 }
 
 // Sync implements roccom.IOService: it blocks until all buffered output
-// has reached the filesystem. For the non-threaded variant it is a no-op
-// (writes are synchronous).
+// has reached the filesystem, then commits the written generations'
+// manifests. Sync is collective: all ranks agree (via an allreduce over
+// their drain outcomes) before rank 0 writes the commit records, so a
+// failure anywhere leaves every generation visibly uncommitted.
 func (h *Rochdf) Sync() error {
 	t0 := h.clock.Now()
 	defer func() {
@@ -357,10 +383,56 @@ func (h *Rochdf) Sync() error {
 		h.m.SyncWait += d
 		h.mx.syncWait.Observe(d)
 	}()
-	if !h.cfg.Threaded {
-		return nil
+	var err error
+	if h.cfg.Threaded {
+		err = h.drain()
 	}
-	return h.drain()
+	bad := 0.0
+	if err != nil {
+		bad = 1
+	}
+	if h.comm.AllreduceMax(bad) > 0 {
+		// Someone failed: no manifests. Pending stays, so a later
+		// successful Sync can still commit the generations.
+		return err
+	}
+	return h.commitPending()
+}
+
+// commitPending writes the manifest commit record for every generation
+// written since the last successful Sync and prunes old generations past
+// the retention limit. Collective: rank 0 does the filesystem work, the
+// trailing barrier keeps other ranks from racing into a manifest-driven
+// restore before the commit records exist.
+func (h *Rochdf) commitPending() error {
+	var firstErr error
+	if h.comm.Rank() == 0 {
+		for _, g := range h.pending {
+			if _, err := snapshot.Commit(h.fs, g.base, g.epoch, g.time); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("rochdf: commit %s: %w", g.base, err)
+			}
+		}
+		if firstErr == nil && h.cfg.RetainGenerations > 0 && len(h.pending) > 0 {
+			prefix := genPrefix(h.pending[len(h.pending)-1].base)
+			if _, err := snapshot.Prune(h.fs, prefix, h.cfg.RetainGenerations); err != nil {
+				firstErr = fmt.Errorf("rochdf: prune %s: %w", prefix, err)
+			}
+		}
+	}
+	h.pending = nil
+	h.pendingSet = make(map[string]bool)
+	h.comm.Barrier()
+	return firstErr
+}
+
+// genPrefix returns the directory prefix shared by a base's generations.
+func genPrefix(base string) string {
+	for i := len(base) - 1; i >= 0; i-- {
+		if base[i] == '/' {
+			return base[:i+1]
+		}
+	}
+	return ""
 }
 
 // Close drains outstanding output and stops the I/O thread. The service

@@ -126,10 +126,22 @@ func runRochdf(t *testing.T, threaded bool) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// One file per rank per snapshot.
+	// One file per rank per snapshot (plus the commit manifest).
 	names, _ := fs.List("out/snap0002")
-	if len(names) != nranks {
-		t.Fatalf("snapshot has %d files, want %d: %v", len(names), nranks, names)
+	var rhdf []string
+	manifests := 0
+	for _, n := range names {
+		if strings.HasSuffix(n, ".rhdf") {
+			rhdf = append(rhdf, n)
+		} else if strings.HasSuffix(n, ".manifest") {
+			manifests++
+		}
+	}
+	if len(rhdf) != nranks {
+		t.Fatalf("snapshot has %d files, want %d: %v", len(rhdf), nranks, names)
+	}
+	if manifests != 1 {
+		t.Fatalf("snapshot has %d commit manifests, want 1: %v", manifests, names)
 	}
 }
 

@@ -86,7 +86,7 @@ func TestMigrationTransparentToIO(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		names, _ := fs.List("m/")
+		names := listRHDF(fs, "m/")
 		out := map[string]string{}
 		for _, name := range names {
 			r, err := hdf.Open(fs, name, rt.NewWallClock(), hdf.NullProfile())

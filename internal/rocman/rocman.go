@@ -24,6 +24,7 @@ import (
 	"genxio/internal/roccom"
 	"genxio/internal/rochdf"
 	"genxio/internal/rocpanda"
+	"genxio/internal/snapshot"
 	"genxio/internal/trace"
 	"genxio/internal/workload"
 )
@@ -61,6 +62,15 @@ type Config struct {
 	// RestartFrom, if non-empty, is the snapshot base to restart from
 	// before stepping. Requires RefineEvery == 0.
 	RestartFrom string
+	// RestartFromLatest restores from the newest committed and
+	// verifiable snapshot generation under OutputDir before stepping,
+	// falling back past corrupt or uncommitted generations. Mutually
+	// exclusive with RestartFrom; requires RefineEvery == 0.
+	RestartFromLatest bool
+	// RetainGenerations, when > 0, keeps only the newest N committed
+	// snapshot generations, pruning older ones at every sync. 0 keeps
+	// everything.
+	RetainGenerations int
 	// StrideRealWork runs the solvers' real arithmetic only every k-th
 	// step, charging the calibrated cost on the others (>= 1; the
 	// timing benches use larger strides since only charged time counts).
@@ -127,9 +137,18 @@ func Run(ctx mpi.Ctx, cfg Config) (*Report, error) {
 	if (cfg.RefineEvery > 0 || cfg.RebalanceEvery > 0) && !cfg.FluidOnly {
 		return nil, fmt.Errorf("rocman: refinement and rebalancing require FluidOnly")
 	}
-	if cfg.RefineEvery > 0 && cfg.RestartFrom != "" {
+	if cfg.RefineEvery > 0 && (cfg.RestartFrom != "" || cfg.RestartFromLatest) {
 		return nil, fmt.Errorf("rocman: refinement and restart are mutually exclusive")
 	}
+	if cfg.RestartFrom != "" && cfg.RestartFromLatest {
+		return nil, fmt.Errorf("rocman: RestartFrom and RestartFromLatest are mutually exclusive")
+	}
+
+	// Pre-register the durability counters so every report carries them
+	// (zero-valued on clean runs), keeping bench JSON schemas stable.
+	cfg.Metrics.Counter("hdf.checksum_failures")
+	cfg.Metrics.Counter("rocpanda.restart.generations_scanned")
+	cfg.Metrics.Counter("rocpanda.restart.fallbacks")
 
 	// I/O module selection: Rocpanda splits the world; the Rochdf
 	// variants use the world communicator directly.
@@ -159,6 +178,9 @@ func Run(ctx mpi.Ctx, cfg Config) (*Report, error) {
 		if pcfg.Metrics == nil {
 			pcfg.Metrics = cfg.Metrics
 		}
+		if pcfg.RetainGenerations == 0 {
+			pcfg.RetainGenerations = cfg.RetainGenerations
+		}
 		cl, err := rocpanda.Init(ctx, pcfg)
 		if err != nil {
 			return nil, err
@@ -175,11 +197,12 @@ func Run(ctx mpi.Ctx, cfg Config) (*Report, error) {
 	case IORochdf, IOTRochdf:
 		comm = ctx.Comm()
 		hdfSvc = rochdf.New(ctx, rochdf.Config{
-			Profile:  cfg.Profile,
-			Threaded: cfg.IO == IOTRochdf,
-			BufferBW: cfg.BufferBW,
-			Compress: cfg.Compress,
-			Metrics:  cfg.Metrics,
+			Profile:           cfg.Profile,
+			Threaded:          cfg.IO == IOTRochdf,
+			BufferBW:          cfg.BufferBW,
+			Compress:          cfg.Compress,
+			Metrics:           cfg.Metrics,
+			RetainGenerations: cfg.RetainGenerations,
 		})
 		if err := rc.LoadModule(hdfSvc.Module(), "IO"); err != nil {
 			return nil, err
@@ -200,6 +223,13 @@ func Run(ctx mpi.Ctx, cfg Config) (*Report, error) {
 
 	if cfg.RestartFrom != "" {
 		if err := sim.restart(svc, cfg.RestartFrom); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.RestartFromLatest {
+		if _, err := snapshot.Restore(ctx.FS(), cfg.OutputDir+"/", func(base string) error {
+			return sim.restartAgreed(svc, base)
+		}, snapshot.Options{Comm: comm, Metrics: cfg.Metrics}); err != nil {
 			return nil, err
 		}
 	}
@@ -377,6 +407,51 @@ func (g *genx) restart(svc roccom.IOService, base string) error {
 	}
 	g.cfg.Trace.Record(g.comm.Rank(), trace.PhaseRead, t0, g.ctx.Clock().Now())
 	return nil
+}
+
+// restartAgreed is restart with collective error agreement between the
+// window reads. A damaged generation can fail only some clients' reads
+// (the ones whose panes sat in the corrupt file); without agreement
+// those ranks would bail out to the fallback while the others enter the
+// next window's collective read round, deadlocking the servers. Every
+// read is followed by an allreduce so all clients abandon the attempt
+// together. Only the generation-fallback path pays for this — plain
+// restarts keep their exact timing behavior.
+func (g *genx) restartAgreed(svc roccom.IOService, base string) error {
+	t0 := g.ctx.Clock().Now()
+	err := svc.ReadAttribute(base, g.fluid, "all")
+	if peerFailed(g.comm, err) {
+		return restartPeerErr(base, "fluid", err)
+	}
+	if g.solid != nil {
+		err = svc.ReadAttribute(base, g.solid, "all")
+		if err == nil {
+			err = g.face.RebuildMaps()
+		}
+		if peerFailed(g.comm, err) {
+			return restartPeerErr(base, "solid", err)
+		}
+	}
+	g.cfg.Trace.Record(g.comm.Rank(), trace.PhaseRead, t0, g.ctx.Clock().Now())
+	return nil
+}
+
+// peerFailed reports whether any rank in comm passed a non-nil error.
+func peerFailed(comm mpi.Comm, err error) bool {
+	bad := 0.0
+	if err != nil {
+		bad = 1
+	}
+	return comm.AllreduceMax(bad) > 0
+}
+
+// restartPeerErr keeps the local error when there is one and otherwise
+// names the window whose read failed on a peer.
+func restartPeerErr(base, window string, err error) error {
+	if err != nil {
+		return err
+	}
+	return fmt.Errorf("rocman: restart %s: a peer rank failed its %s read", base, window)
 }
 
 // run executes the timestep loop with periodic snapshots.

@@ -6,8 +6,10 @@ import (
 	"testing"
 
 	"genxio/internal/cluster"
+	"genxio/internal/faults"
 	"genxio/internal/hdf"
 	"genxio/internal/mesh"
+	"genxio/internal/metrics"
 	"genxio/internal/mpi"
 	"genxio/internal/roccom"
 	"genxio/internal/rocpanda"
@@ -15,6 +17,20 @@ import (
 	"genxio/internal/trace"
 	"genxio/internal/workload"
 )
+
+// listRHDF lists the committed snapshot files under prefix, excluding the
+// commit manifests and staged temporaries the durable-snapshot protocol
+// adds alongside them.
+func listRHDF(fs rt.FS, prefix string) []string {
+	names, _ := fs.List(prefix)
+	var out []string
+	for _, n := range names {
+		if strings.HasSuffix(n, ".rhdf") {
+			out = append(out, n)
+		}
+	}
+	return out
+}
 
 // tinySpec returns a small, fast workload: 8 blocks, 12 steps, snapshots
 // every 4 steps.
@@ -84,7 +100,7 @@ func TestIntegratedRunAllIOModules(t *testing.T) {
 				t.Fatalf("report %+v", rep)
 			}
 			// The right number of snapshot files exist.
-			names, _ := fs.List("out/")
+			names := listRHDF(fs, "out/")
 			wantFiles := 4 * 3 // 4 snapshots x 3 procs (individual I/O)
 			if io == IORocpanda {
 				wantFiles = 4 * 1 // 4 snapshots x 1 server
@@ -113,7 +129,7 @@ func TestSnapshotContentIdenticalAcrossIOModules(t *testing.T) {
 	// full set of datasets of the last snapshot across modules.
 	collect := func(io IOKind) map[string][]byte {
 		_, fs := runReal(t, 4, baseCfg(io))
-		names, _ := fs.List("out/snap000012")
+		names := listRHDF(fs, "out/snap000012")
 		if len(names) == 0 {
 			t.Fatalf("%s: no final snapshot", io)
 		}
@@ -200,7 +216,7 @@ func TestRestartContinuesIdentically(t *testing.T) {
 
 			// Compare full/snap000012 vs partB/snap000004.
 			read := func(fs rt.FS, prefix string) map[string]string {
-				names, _ := fs.List(prefix)
+				names := listRHDF(fs, prefix)
 				if len(names) == 0 {
 					t.Fatalf("no files under %s", prefix)
 				}
@@ -250,7 +266,7 @@ func TestRefinementChangesDistributionTransparently(t *testing.T) {
 	// After 12 steps with refinement every 3, each client split 4 times:
 	// the final snapshot must contain more panes than the initial one.
 	count := func(prefix string) int {
-		names, _ := fs.List(prefix)
+		names := listRHDF(fs, prefix)
 		panes := map[string]bool{}
 		for _, name := range names {
 			r, err := hdf.Open(fs, name, rt.NewWallClock(), hdf.NullProfile())
@@ -339,7 +355,7 @@ func TestSolverSelection(t *testing.T) {
 	if rep == nil || rep.Snapshots != 4 {
 		t.Fatalf("report %+v", rep)
 	}
-	names, _ := fs.List("out/snap000012")
+	names := listRHDF(fs, "out/snap000012")
 	if len(names) != 1 {
 		t.Fatalf("files %v", names)
 	}
@@ -397,7 +413,7 @@ func TestCompressedSnapshots(t *testing.T) {
 			_, fsComp := runReal(t, 4, comp)
 
 			size := func(fs rt.FS) int64 {
-				names, _ := fs.List("out/snap000012")
+				names := listRHDF(fs, "out/snap000012")
 				var total int64
 				for _, n := range names {
 					sz, _ := fs.Stat(n)
@@ -411,7 +427,7 @@ func TestCompressedSnapshots(t *testing.T) {
 			}
 			// Logical content identical.
 			read := func(fs rt.FS) map[string]string {
-				names, _ := fs.List("out/snap000012")
+				names := listRHDF(fs, "out/snap000012")
 				out := map[string]string{}
 				for _, name := range names {
 					r, err := hdf.Open(fs, name, rt.NewWallClock(), hdf.NullProfile())
@@ -485,5 +501,63 @@ func TestTraceTimelineOnSimPlatform(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("timeline missing %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestRestartFromLatestFallsBackMultiWindow(t *testing.T) {
+	// Regression for a restore deadlock: a corrupt newest generation
+	// fails only the clients whose panes sat in the damaged server file.
+	// Without collective agreement between the fluid and solid window
+	// reads those clients abandon the attempt while the rest enter the
+	// next read round, and the servers wait forever for a full round.
+	// The fallback must move every client past the damaged generation
+	// together and the run must complete.
+	const n = 6 // 4 clients + 2 servers
+	cfg := baseCfg(IORocpanda)
+	cfg.Rocpanda.NumServers = 2
+
+	fs := rt.NewMemFS()
+	world := mpi.NewChanWorld(fs, 1)
+	if err := world.Run(n, func(ctx mpi.Ctx) error {
+		_, err := Run(ctx, cfg)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one payload bit in one server file of the newest generation:
+	// the scan skips the whole file, so only the clients whose panes it
+	// held see an incomplete fluid read.
+	if err := faults.FlipBit(fs, "out/snap000012_s001.rhdf", hdf.HeaderSize()*8+13); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := metrics.New()
+	cfg2 := baseCfg(IORocpanda)
+	cfg2.Rocpanda.NumServers = 2
+	cfg2.Workload.Steps = 4
+	cfg2.Workload.SnapshotEvery = 4
+	cfg2.RestartFromLatest = true
+	cfg2.Metrics = reg
+	world = mpi.NewChanWorld(fs, 1)
+	if err := world.Run(n, func(ctx mpi.Ctx) error {
+		_, err := Run(ctx, cfg2)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// All 4 clients fell back exactly once (snap000012 -> snap000008);
+	// the shared registry sums their per-rank counters. The corrupt file
+	// was caught by one server's scan, once.
+	s := reg.Snapshot()
+	if got := s.Counters["rocpanda.restart.fallbacks"]; got != 4 {
+		t.Fatalf("restart.fallbacks = %d, want 4 (one per client)", got)
+	}
+	if got := s.Counters["rocpanda.restart.generations_scanned"]; got != 8 {
+		t.Fatalf("restart.generations_scanned = %d, want 8 (two per client)", got)
+	}
+	if got := s.Counters["hdf.checksum_failures"]; got != 1 {
+		t.Fatalf("hdf.checksum_failures = %d, want 1", got)
 	}
 }

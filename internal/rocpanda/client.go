@@ -3,10 +3,12 @@ package rocpanda
 import (
 	"errors"
 	"fmt"
+	"strings"
 
 	"genxio/internal/metrics"
 	"genxio/internal/mpi"
 	"genxio/internal/roccom"
+	"genxio/internal/snapshot"
 )
 
 // ErrIncompleteRestart reports that a scan-based restart could not recover
@@ -38,7 +40,15 @@ type Client struct {
 	srvRanks   []int    // world ranks of all servers
 	numServers int
 	blockOH    float64 // per-block client-side protocol cost
+	retain     int     // RetainGenerations: prune older generations after commit
 	shutdown   bool
+
+	// Snapshot-commit state: generations written since the last commit.
+	// Writes are collective, so every client accumulates the same list;
+	// client 0 writes the manifests once all servers have drained.
+	pending    []pendingGen
+	pendingSet map[string]bool
+	registry   *metrics.Registry
 
 	// Fault tolerance (see failover.go).
 	nClients  int          // client-communicator size
@@ -122,6 +132,10 @@ func (c *Client) WriteAttribute(file string, w *roccom.Window, attr string, tm f
 		NBlocks: int32(len(payloads)), Bytes: bytes,
 	}
 	enc := encodeWriteHdr(hdr)
+	if !c.pendingSet[file] {
+		c.pendingSet[file] = true
+		c.pending = append(c.pending, pendingGen{base: file, epoch: int64(step), time: tm})
+	}
 	// Ship header and blocks, then wait for the ack, which arrives when
 	// the server has safely buffered (or written) everything; our buffers
 	// are reusable as soon as the ack lands. A timed-out ack fails the
@@ -326,11 +340,76 @@ func (c *Client) Sync() error {
 		// of through its own timeout.
 		c.shareDeaths()
 	}
-	return c.withFailover("sync", func(target int) bool {
+	err := c.withFailover("sync", func(target int) bool {
 		c.world.Send(target, tagSync, nil)
 		_, _, ok := c.recvTimeout(target, tagSyncAck)
 		return ok
 	})
+	// Agree on the outcome before committing: the allreduce doubles as
+	// the barrier that guarantees every server has drained (each client
+	// enters only after its own server's sync ack), and if any client's
+	// sync failed no manifest may be written.
+	bad := 0.0
+	if err != nil {
+		bad = 1
+	}
+	if c.comm.AllreduceMax(bad) > 0 {
+		return err
+	}
+	return c.commitPending()
+}
+
+// pendingGen is one generation awaiting its commit record.
+type pendingGen struct {
+	base  string
+	epoch int64
+	time  float64
+}
+
+// commitPending writes the manifest of every generation synced since the
+// last commit (client 0 only; the others wait), then prunes old
+// generations if retention is configured. Callers must have established
+// that every server has drained. The trailing barrier keeps any client
+// from racing ahead — e.g. into a manifest-driven restore — before the
+// commit records exist.
+func (c *Client) commitPending() error {
+	var err error
+	if c.myIdx == 0 {
+		for _, g := range c.pending {
+			if _, cerr := snapshot.Commit(c.ctx.FS(), g.base, g.epoch, g.time); cerr != nil && err == nil {
+				err = cerr
+			}
+		}
+		if err == nil && c.retain > 0 && len(c.pending) > 0 {
+			prefix := genPrefix(c.pending[len(c.pending)-1].base)
+			_, err = snapshot.Prune(c.ctx.FS(), prefix, c.retain)
+		}
+	}
+	c.pending = nil
+	c.pendingSet = make(map[string]bool)
+	c.comm.Barrier()
+	return err
+}
+
+// genPrefix returns the directory prefix shared by a base's generations.
+func genPrefix(base string) string {
+	if i := strings.LastIndexByte(base, '/'); i >= 0 {
+		return base[:i+1]
+	}
+	return ""
+}
+
+// RestoreLatest walks the snapshot generations under prefix newest-first
+// — skipping uncommitted and damaged ones — and calls restore with each
+// candidate base until one succeeds on every client, returning that base.
+// Collective over the clients; restore is typically a ReadAttribute (or
+// several). Fallbacks are counted on rocpanda.restart.fallbacks.
+func (c *Client) RestoreLatest(prefix string, restore func(base string) error) (string, error) {
+	if c.shutdown {
+		return "", fmt.Errorf("rocpanda: restore after shutdown")
+	}
+	return snapshot.Restore(c.ctx.FS(), prefix, restore,
+		snapshot.Options{Comm: c.comm, Metrics: c.registry})
 }
 
 // Shutdown is collective over the clients: it drains the servers and
@@ -363,7 +442,12 @@ func (c *Client) Shutdown() error {
 			c.markDeadRank(t) // died during shutdown; nothing left to do
 		}
 	}
-	return nil
+	// Generations written but never synced drain as the servers shut
+	// down; commit them now so the last snapshot of a run is restorable.
+	// The barrier guarantees every client's servers have acked (drained)
+	// before client 0 summarizes the files.
+	c.comm.Barrier()
+	return c.commitPending()
 }
 
 // deadRank reports whether the server at this world rank is believed dead.

@@ -8,6 +8,7 @@ package rocpanda
 import (
 	"errors"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 
@@ -267,8 +268,14 @@ func TestCrashMidDrainIncompleteSnapshotFallsBack(t *testing.T) {
 	if incomplete == 0 {
 		t.Fatal("no client reported snapshot B incomplete")
 	}
-	if skipped == 0 {
-		t.Fatal("no server skipped the crashed server's directory-less file")
+	// With atomic creates the crashed server's partial file never became
+	// visible: it is still a staged temporary, the committed name does not
+	// exist, and the healthy rescan has nothing to skip.
+	if skipped != 0 {
+		t.Fatalf("servers skipped %d files; the staged temporary should be invisible to the scan", skipped)
+	}
+	if tmps, _ := fs.List("fb/B_s001"); len(tmps) != 1 || !strings.HasSuffix(tmps[0], ".rhdf"+hdf.TmpSuffix) {
+		t.Fatalf("crashed server's B residue %v, want exactly one staged .rhdf%s", tmps, hdf.TmpSuffix)
 	}
 	// Snapshot A must still be fully intact on disk (both servers' files).
 	names, _ := fs.List("fb/A_s")

@@ -84,6 +84,10 @@ type Config struct {
 	// Compress stores snapshot datasets deflate-compressed on the
 	// servers.
 	Compress bool
+	// RetainGenerations, when positive, prunes all but the newest N
+	// snapshot generations (files and manifests) after each commit. Zero
+	// keeps everything.
+	RetainGenerations int
 	// OnServerDone, if set, receives each server's metrics when it shuts
 	// down (called on the server's goroutine/process). It is also called
 	// when the server dies to an injected crash, with Crashed set.
@@ -226,6 +230,8 @@ func Init(ctx mpi.Ctx, cfg Config) (*Client, error) {
 		srvRanks:   srvRanks,
 		numServers: m,
 		blockOH:    cfg.PerBlockOverhead,
+		retain:     cfg.RetainGenerations,
+		registry:   cfg.Metrics,
 		nClients:   n,
 		myIdx:      myIdx,
 		timeout:    cfg.RetryTimeout,
@@ -233,6 +239,7 @@ func Init(ctx mpi.Ctx, cfg Config) (*Client, error) {
 		maxFail:    maxFail,
 		dead:       make(map[int]bool),
 		contacted:  []int{origServer},
+		pendingSet: make(map[string]bool),
 		mx:         newClMx(cfg.Metrics),
 	}, nil
 }

@@ -2,6 +2,7 @@ package rocpanda
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 
@@ -13,6 +14,23 @@ import (
 	"genxio/internal/rt"
 	"genxio/internal/stats"
 )
+
+// listRHDF lists the committed snapshot files under prefix, excluding the
+// commit manifests and any staged temporaries.
+func listRHDF(t testing.TB, fs rt.FS, prefix string) []string {
+	t.Helper()
+	names, err := fs.List(prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, n := range names {
+		if strings.HasSuffix(n, ".rhdf") {
+			out = append(out, n)
+		}
+	}
+	return out
+}
 
 // buildWindow registers nblocks panes with deterministic data for a client
 // rank (of the client communicator).
@@ -124,7 +142,7 @@ func TestWriteRestartDifferentServerCount(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Two server files, not one per client.
-	names, _ := fs.List("ck/snap0100")
+	names := listRHDF(t, fs, "ck/snap0100")
 	if len(names) != 2 {
 		t.Fatalf("snapshot files %v, want 2", names)
 	}
@@ -259,7 +277,7 @@ func TestMultiWindowSnapshot(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	names, _ := fs.List("multi/")
+	names := listRHDF(t, fs, "multi/")
 	if len(names) != 1 {
 		t.Fatalf("files %v, want a single shared file", names)
 	}
@@ -381,7 +399,7 @@ func TestBufferOverflowDrainsGracefully(t *testing.T) {
 		t.Fatalf("buffer grew to %d despite capacity", m.MaxBufBytes)
 	}
 	// All three snapshots must be complete, readable files.
-	names, _ := fs.List("ovf/")
+	names := listRHDF(t, fs, "ovf/")
 	if len(names) != 3 {
 		t.Fatalf("files %v", names)
 	}
@@ -429,7 +447,7 @@ func TestFileCountReduction(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	names, _ := fs.List("ratio/")
+	names := listRHDF(t, fs, "ratio/")
 	if len(names) != 2 {
 		t.Fatalf("files %v, want 2 (one per server)", names)
 	}

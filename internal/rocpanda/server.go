@@ -492,7 +492,15 @@ func (s *server) scanFile(name, window string, round *readRound) {
 		}
 		data, err := r.ReadData(ds)
 		if err != nil {
-			panic(err)
+			// A checksum mismatch (or read failure) in a committed file:
+			// the snapshot was damaged after commit. Skip the whole file
+			// — nothing from it has been shipped yet — so the restart
+			// either recovers the panes from another server's file or
+			// reports the snapshot incomplete, sending the caller back a
+			// generation.
+			s.m.FilesSkipped++
+			s.mx.filesSkipped.Inc()
+			return
 		}
 		pd, ok := panes[paneID]
 		if !ok {

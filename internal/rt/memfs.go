@@ -56,6 +56,19 @@ func (m *MemFS) Remove(name string) error {
 	return nil
 }
 
+// Rename implements FS.
+func (m *MemFS) Rename(oldname, newname string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n, ok := m.files[oldname]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotExist, oldname)
+	}
+	m.files[newname] = n
+	delete(m.files, oldname)
+	return nil
+}
+
 // List implements FS.
 func (m *MemFS) List(prefix string) ([]string, error) {
 	m.mu.Lock()

@@ -63,6 +63,19 @@ func (o *OSFS) Remove(name string) error {
 	return err
 }
 
+// Rename implements FS.
+func (o *OSFS) Rename(oldname, newname string) error {
+	dst := o.path(newname)
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		return err
+	}
+	err := os.Rename(o.path(oldname), dst)
+	if errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("%w: %s", ErrNotExist, oldname)
+	}
+	return err
+}
+
 // List implements FS.
 func (o *OSFS) List(prefix string) ([]string, error) {
 	var names []string

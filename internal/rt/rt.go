@@ -50,6 +50,10 @@ type FS interface {
 	Open(name string) (File, error)
 	// Remove deletes the named file.
 	Remove(name string) error
+	// Rename atomically replaces newname with oldname. It is the commit
+	// primitive of the durable-snapshot protocol: writers emit to a temp
+	// name and Rename it into place once complete.
+	Rename(oldname, newname string) error
 	// List returns the names of all files whose name starts with prefix,
 	// in lexical order.
 	List(prefix string) ([]string, error)

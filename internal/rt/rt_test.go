@@ -221,3 +221,73 @@ func TestWallClock(t *testing.T) {
 		t.Fatalf("Compute appears to have consumed real time: %v s", t1-t0)
 	}
 }
+
+// TestFSRename covers the commit primitive of the durable-snapshot
+// protocol on every FS implementation: the staged name disappears, the
+// final name holds the staged bytes, an existing target is replaced, and
+// a missing source reports ErrNotExist.
+func TestFSRename(t *testing.T) {
+	for name, fsys := range fsCases(t) {
+		t.Run(name, func(t *testing.T) {
+			write := func(name string, data []byte) {
+				f, err := fsys.Create(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := f.WriteAt(data, 0); err != nil {
+					t.Fatal(err)
+				}
+				if err := f.Close(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			read := func(name string) []byte {
+				f, err := fsys.Open(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer f.Close()
+				sz, _ := f.Size()
+				b := make([]byte, sz)
+				if sz > 0 {
+					if _, err := f.ReadAt(b, 0); err != nil {
+						t.Fatal(err)
+					}
+				}
+				return b
+			}
+
+			write("dir/a.tmp", []byte("new generation"))
+			write("dir/a", []byte("old generation"))
+			if err := fsys.Rename("dir/a.tmp", "dir/a"); err != nil {
+				t.Fatal(err)
+			}
+			if got := read("dir/a"); !bytes.Equal(got, []byte("new generation")) {
+				t.Fatalf("renamed content %q", got)
+			}
+			if _, err := fsys.Open("dir/a.tmp"); !errors.Is(err, ErrNotExist) {
+				t.Fatalf("source still present after rename: %v", err)
+			}
+			names, err := fsys.List("dir/")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(names) != 1 || names[0] != "dir/a" {
+				t.Fatalf("listing after rename: %v", names)
+			}
+
+			// Rename into a fresh subdirectory (OSFS must create it).
+			write("dir/b.tmp", []byte("b"))
+			if err := fsys.Rename("dir/b.tmp", "other/deep/b"); err != nil {
+				t.Fatal(err)
+			}
+			if got := read("other/deep/b"); !bytes.Equal(got, []byte("b")) {
+				t.Fatalf("cross-directory rename content %q", got)
+			}
+
+			if err := fsys.Rename("dir/missing", "dir/x"); !errors.Is(err, ErrNotExist) {
+				t.Fatalf("renaming a missing file: %v", err)
+			}
+		})
+	}
+}

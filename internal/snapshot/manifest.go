@@ -1,0 +1,152 @@
+// Package snapshot implements the durable-snapshot commit protocol shared
+// by every I/O module: writers stage RHDF files under temporary names and
+// rename them into place (internal/hdf), and a completed generation is
+// committed by writing a small manifest — epoch, file list, per-file sizes
+// and directory checksums — as the last step. A generation without its
+// manifest never happened as far as restart is concerned, which is what
+// makes a crash at any point recoverable: the previous committed
+// generation is still intact and still selected.
+//
+// The package also provides the read side: generation discovery, manifest
+// verification, a newest-first restore walk that falls back past damaged
+// generations, retention pruning, and the deep scrub behind cmd/genxfsck.
+package snapshot
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"genxio/internal/hdf"
+	"genxio/internal/rt"
+)
+
+// ManifestSchema identifies the manifest JSON layout; bump on breaking
+// changes so tooling can dispatch.
+const ManifestSchema = "genxio-manifest/v1"
+
+// Suffix is appended to a generation's base name to form its manifest
+// file name.
+const Suffix = ".manifest"
+
+// FileEntry records one snapshot file at commit time.
+type FileEntry struct {
+	// Name is the file's full path on the snapshot filesystem.
+	Name string `json:"name"`
+	// Size is the committed length in bytes.
+	Size int64 `json:"size"`
+	// DirCRC is the CRC32C of the file's RHDF directory bytes; a stale or
+	// torn replacement of the file cannot keep both Size and DirCRC.
+	DirCRC uint32 `json:"dir_crc32c"`
+	// Datasets is the directory's dataset count.
+	Datasets int `json:"datasets"`
+}
+
+// Manifest is a generation's commit record.
+type Manifest struct {
+	Schema string `json:"schema"`
+	// Base is the generation's base name (files are Base_*.rhdf).
+	Base string `json:"base"`
+	// Epoch is the simulation step the snapshot was taken at.
+	Epoch int64 `json:"epoch"`
+	// Time is the simulation time of the snapshot.
+	Time float64 `json:"time"`
+	// Files lists every committed file, in lexical order.
+	Files []FileEntry `json:"files"`
+}
+
+// Commit writes the commit record for the generation under base: it
+// summarizes every committed Base_*.rhdf file and atomically publishes
+// base+Suffix. It must be called only after all of the generation's
+// writers have closed (in the collective modules, by one rank, after a
+// barrier). Committing a generation with no files is an error — there is
+// nothing to restore.
+func Commit(fsys rt.FS, base string, epoch int64, tm float64) (*Manifest, error) {
+	names, err := fsys.List(base + "_")
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: commit %s: %w", base, err)
+	}
+	m := &Manifest{Schema: ManifestSchema, Base: base, Epoch: epoch, Time: tm}
+	for _, name := range names {
+		if !strings.HasSuffix(name, ".rhdf") {
+			continue // staged *.tmp residue is not part of the generation
+		}
+		size, crc, nsets, err := hdf.DirInfo(fsys, name)
+		if err != nil {
+			return nil, fmt.Errorf("snapshot: commit %s: %w", base, err)
+		}
+		m.Files = append(m.Files, FileEntry{Name: name, Size: size, DirCRC: crc, Datasets: nsets})
+	}
+	if len(m.Files) == 0 {
+		return nil, fmt.Errorf("snapshot: commit %s: no snapshot files", base)
+	}
+	enc, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	tmp := base + Suffix + hdf.TmpSuffix
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: commit %s: %w", base, err)
+	}
+	if _, err := f.WriteAt(enc, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("snapshot: commit %s: %w", base, err)
+	}
+	if err := f.Close(); err != nil {
+		return nil, fmt.Errorf("snapshot: commit %s: %w", base, err)
+	}
+	if err := fsys.Rename(tmp, base+Suffix); err != nil {
+		return nil, fmt.Errorf("snapshot: commit %s: %w", base, err)
+	}
+	return m, nil
+}
+
+// Load reads and validates the manifest of the generation under base.
+func Load(fsys rt.FS, base string) (*Manifest, error) {
+	f, err := fsys.Open(base + Suffix)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	size, err := f.Size()
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, size)
+	if size > 0 {
+		if _, err := f.ReadAt(buf, 0); err != nil && err != io.EOF {
+			return nil, fmt.Errorf("snapshot: manifest %s: %w", base, err)
+		}
+	}
+	m := &Manifest{}
+	if err := json.Unmarshal(buf, m); err != nil {
+		return nil, fmt.Errorf("snapshot: manifest %s: %w", base, err)
+	}
+	if m.Schema != ManifestSchema {
+		return nil, fmt.Errorf("snapshot: manifest %s has schema %q, want %q", base, m.Schema, ManifestSchema)
+	}
+	return m, nil
+}
+
+// Verify checks the manifest's files against the filesystem: each must
+// exist with the committed size and directory checksum. It reads only
+// headers and directories; ReadData's per-dataset CRCs (and Fsck's deep
+// scrub) cover the payload bytes.
+func (m *Manifest) Verify(fsys rt.FS) error {
+	for _, e := range m.Files {
+		size, crc, _, err := hdf.DirInfo(fsys, e.Name)
+		if err != nil {
+			return fmt.Errorf("snapshot: verify %s: %s: %w", m.Base, e.Name, err)
+		}
+		if size != e.Size {
+			return fmt.Errorf("snapshot: verify %s: %s is %d bytes, manifest says %d", m.Base, e.Name, size, e.Size)
+		}
+		if crc != e.DirCRC {
+			return fmt.Errorf("%w: snapshot %s: %s directory crc32c %08x, manifest says %08x",
+				hdf.ErrChecksum, m.Base, e.Name, crc, e.DirCRC)
+		}
+	}
+	return nil
+}

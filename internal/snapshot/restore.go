@@ -1,0 +1,212 @@
+package snapshot
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"genxio/internal/hdf"
+	"genxio/internal/metrics"
+	"genxio/internal/mpi"
+	"genxio/internal/rt"
+)
+
+// Generation is one snapshot base discovered under a directory prefix.
+type Generation struct {
+	// Base is the generation's base name (restart input for the I/O
+	// services).
+	Base string
+	// Committed reports whether the generation has a manifest — the
+	// commit record written last. Uncommitted generations are crash
+	// residue and never restart candidates.
+	Committed bool
+}
+
+// baseOf derives the generation base from a snapshot artifact name:
+// base.manifest, base_s000.rhdf, base_p00000.rhdf, or any of those with a
+// staged .tmp suffix. It returns "" for names that are not snapshot
+// artifacts.
+func baseOf(name string) string {
+	name = strings.TrimSuffix(name, hdf.TmpSuffix)
+	if b, ok := strings.CutSuffix(name, Suffix); ok {
+		return b
+	}
+	name, ok := strings.CutSuffix(name, ".rhdf")
+	if !ok {
+		return ""
+	}
+	i := strings.LastIndexByte(name, '_')
+	if i < 0 || i+1 >= len(name) {
+		return ""
+	}
+	tail := name[i+1:]
+	if tail[0] != 's' && tail[0] != 'p' {
+		return ""
+	}
+	for _, c := range tail[1:] {
+		if c < '0' || c > '9' {
+			return ""
+		}
+	}
+	if len(tail) < 2 {
+		return ""
+	}
+	return name[:i]
+}
+
+// Generations discovers the snapshot generations under prefix (typically
+// the run's output directory plus "/"), newest first. Base names must
+// order lexically by age — which the zero-padded snap%06d convention
+// guarantees — since the epoch lives in the manifest and uncommitted
+// generations have none.
+func Generations(fsys rt.FS, prefix string) ([]Generation, error) {
+	names, err := fsys.List(prefix)
+	if err != nil {
+		return nil, err
+	}
+	committed := make(map[string]bool)
+	seen := make(map[string]bool)
+	var bases []string
+	for _, name := range names {
+		b := baseOf(name)
+		if b == "" {
+			continue
+		}
+		if !seen[b] {
+			seen[b] = true
+			bases = append(bases, b)
+		}
+		if strings.HasSuffix(name, Suffix) {
+			committed[b] = true
+		}
+	}
+	sort.Sort(sort.Reverse(sort.StringSlice(bases)))
+	gens := make([]Generation, len(bases))
+	for i, b := range bases {
+		gens[i] = Generation{Base: b, Committed: committed[b]}
+	}
+	return gens, nil
+}
+
+// Options configures a Restore walk.
+type Options struct {
+	// Comm, when set, makes the walk collective: rank 0 verifies each
+	// manifest and broadcasts the verdict, and every generation attempt
+	// ends with an allreduce so all ranks agree on success or fallback.
+	// Every rank of the communicator must call Restore with the same
+	// arguments. Nil runs single-process.
+	Comm mpi.Comm
+	// Metrics, when set, receives rocpanda.restart.generations_scanned
+	// and rocpanda.restart.fallbacks counters. Nil disables recording.
+	Metrics *metrics.Registry
+}
+
+// Restore walks the generations under prefix newest-first and calls try
+// with each restorable base until one attempt succeeds on every rank,
+// returning that base. Uncommitted generations, generations whose
+// manifest fails verification, and generations whose try fails (for
+// example rocpanda.ErrIncompleteRestart after a server skipped a
+// checksum-damaged file) are fallen past, each bumping the
+// rocpanda.restart.fallbacks counter once.
+func Restore(fsys rt.FS, prefix string, try func(base string) error, opts Options) (string, error) {
+	gens, err := Generations(fsys, prefix)
+	if err != nil {
+		return "", err
+	}
+	scanned := opts.Metrics.Counter("rocpanda.restart.generations_scanned")
+	fallbacks := opts.Metrics.Counter("rocpanda.restart.fallbacks")
+	var lastErr error
+	for _, g := range gens {
+		scanned.Inc()
+		ok := g.Committed
+		if !ok {
+			lastErr = fmt.Errorf("snapshot: %s has no manifest (uncommitted)", g.Base)
+		}
+		if ok {
+			// Manifest verification touches every file's header and
+			// directory; one rank does it and shares the verdict.
+			if opts.Comm == nil || opts.Comm.Rank() == 0 {
+				m, err := Load(fsys, g.Base)
+				if err == nil {
+					err = m.Verify(fsys)
+				}
+				if err != nil {
+					ok = false
+					lastErr = err
+				}
+			}
+			if opts.Comm != nil {
+				v := []byte{0}
+				if ok {
+					v[0] = 1
+				}
+				ok = opts.Comm.Bcast(0, v)[0] == 1
+			}
+		}
+		if ok {
+			err := try(g.Base)
+			bad := 0.0
+			if err != nil {
+				bad = 1
+				lastErr = err
+			}
+			if opts.Comm != nil {
+				bad = opts.Comm.AllreduceMax(bad)
+			}
+			if bad == 0 {
+				return g.Base, nil
+			}
+		}
+		fallbacks.Inc()
+	}
+	if lastErr != nil {
+		return "", fmt.Errorf("snapshot: no restorable generation under %q (last: %w)", prefix, lastErr)
+	}
+	return "", fmt.Errorf("snapshot: no generations under %q", prefix)
+}
+
+// Prune removes all artifacts of generations older than the newest
+// retain ones — snapshot files, staged temporaries, and the manifest,
+// which goes first so a crash mid-prune leaves the generation visibly
+// uncommitted rather than silently partial. retain <= 0 keeps everything.
+// It returns the bases removed.
+func Prune(fsys rt.FS, prefix string, retain int) ([]string, error) {
+	if retain <= 0 {
+		return nil, nil
+	}
+	gens, err := Generations(fsys, prefix)
+	if err != nil {
+		return nil, err
+	}
+	if len(gens) <= retain {
+		return nil, nil
+	}
+	var removed []string
+	for _, g := range gens[retain:] {
+		if g.Committed {
+			if err := fsys.Remove(g.Base + Suffix); err != nil {
+				return removed, err
+			}
+		}
+		names, err := fsys.List(g.Base + "_")
+		if err != nil {
+			return removed, err
+		}
+		for _, name := range names {
+			if baseOf(name) != g.Base {
+				continue
+			}
+			if err := fsys.Remove(name); err != nil {
+				return removed, err
+			}
+		}
+		// Staged manifest residue (base.manifest.tmp) sits outside the
+		// base+"_" namespace.
+		if err := fsys.Remove(g.Base + Suffix + hdf.TmpSuffix); err != nil && !errors.Is(err, rt.ErrNotExist) {
+			return removed, err
+		}
+		removed = append(removed, g.Base)
+	}
+	return removed, nil
+}
