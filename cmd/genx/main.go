@@ -112,6 +112,11 @@ func main() {
 			s.Counters["rocpanda.restart.generations_scanned"]/nc,
 			s.Counters["rocpanda.restart.fallbacks"]/nc,
 			s.Counters["hdf.checksum_failures"])
+		fmt.Printf("  catalog: %d indexed, %d scan fallbacks, %d files opened, %.1f MB read\n",
+			s.Counters["rocpanda.restart.catalog_hits"],
+			s.Counters["rocpanda.restart.catalog_fallbacks"],
+			s.Counters["rocpanda.restart.files_opened"],
+			float64(s.Counters["rocpanda.restart.bytes_read"])/1e6)
 	}
 	names, err := fs.List("run/")
 	if err != nil {

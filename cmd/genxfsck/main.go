@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"os"
 
+	"genxio/internal/hdf"
 	"genxio/internal/rt"
 	"genxio/internal/snapshot"
 )
@@ -96,8 +97,53 @@ func quickScrub(fsys rt.FS, prefix string) ([]snapshot.GenReport, error) {
 			rep.Files = append(rep.Files, snapshot.FileReport{
 				Name: g.Base + snapshot.Suffix, Status: "corrupt", Detail: err.Error(),
 			})
+		} else {
+			quickCatalog(fsys, m, &rep)
 		}
 		reports = append(reports, rep)
 	}
 	return reports, nil
+}
+
+// quickCatalog is the manifest-level catalog check: the blob's size and
+// whole-blob CRC against the manifest reference, without decoding the
+// entries (Fsck does the full cross-check).
+func quickCatalog(fsys rt.FS, m *snapshot.Manifest, rep *snapshot.GenReport) {
+	rep.Catalog = "none"
+	if m.Catalog == nil {
+		return
+	}
+	blob, err := readAll(fsys, m.Catalog.Name)
+	if err != nil || int64(len(blob)) != m.Catalog.Size || hdf.Checksum(blob) != m.Catalog.CRC {
+		rep.Catalog = "mismatch"
+		if rep.Verdict == snapshot.VerdictOK {
+			rep.Verdict = snapshot.VerdictCatalogMismatch
+		}
+		detail := "catalog blob does not match manifest reference"
+		if err != nil {
+			detail = err.Error()
+		}
+		rep.Files = append(rep.Files, snapshot.FileReport{
+			Name: m.Catalog.Name, Status: "mismatch", Detail: detail,
+		})
+		return
+	}
+	rep.Catalog = "ok"
+}
+
+func readAll(fsys rt.FS, name string) ([]byte, error) {
+	f, err := fsys.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	size, err := f.Size()
+	if err != nil {
+		return nil, err
+	}
+	blob := make([]byte, size)
+	if _, err := f.ReadAt(blob, 0); err != nil {
+		return nil, err
+	}
+	return blob, nil
 }

@@ -13,6 +13,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"strings"
 
 	"genxio"
 	"genxio/internal/stats"
@@ -110,8 +111,14 @@ func main() {
 		}
 		if comm.Rank() == 0 {
 			names, _ := ctx.FS().List("demo/")
+			nrhdf := 0
+			for _, n := range names {
+				if strings.HasSuffix(n, ".rhdf") {
+					nrhdf++
+				}
+			}
 			fmt.Printf("quickstart: %d clients wrote %d panes into %d shared file(s): %v\n",
-				comm.Size(), 2*comm.Size(), len(names), names)
+				comm.Size(), 2*comm.Size(), nrhdf, names)
 			fmt.Println("quickstart: restart verified OK")
 		}
 		return rc.UnloadModule("IO") // shuts the server down

@@ -1,0 +1,469 @@
+// Package catalog implements the per-generation block catalog: a compact
+// index mapping every (window, pane, dataset) in a committed snapshot
+// generation to its exact byte extent — file, offset, stored length, and
+// CRC32C. The committing rank builds it at snapshot commit by merging the
+// directories of the generation's RHDF files (the writer's directory IS the
+// per-file index, so no extra wire traffic is needed) and writes it as a
+// single blob next to the manifest, before the manifest — the manifest is
+// the commit record, so a generation either has its catalog or is not yet
+// committed.
+//
+// At restart, servers consult the catalog to open only the files that
+// contain requested panes and issue direct offset reads, verified per entry
+// against the recorded CRC; this replaces the O(total snapshot bytes) scan
+// in the common case. Generations without a catalog, or with one that fails
+// its checksum, fall back to the scan path. The catalog also carries the
+// generation's pane universe, which the deterministic repartitioner divides
+// among restart ranks — allowing a restart topology (client and server
+// counts) different from the writing run, per the paper's framing of
+// restart as decoupled from the writing decomposition.
+package catalog
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"genxio/internal/hdf"
+	"genxio/internal/roccom"
+	"genxio/internal/rt"
+)
+
+// Magic identifies a catalog blob.
+const Magic = "RCAT"
+
+// Version is the current catalog format version.
+const Version = 1
+
+// Suffix is appended to a generation base name to form its catalog file,
+// e.g. "run/snap000100" + Suffix.
+const Suffix = ".catalog"
+
+// headerSize is magic(4) + version(4) + bodyCRC(4).
+const headerSize = 12
+
+// Entry is one dataset's coordinates: enough to locate, read, verify, and
+// reconstruct it without opening the file's directory.
+type Entry struct {
+	File int    // index into Catalog.Files
+	Name string // full dataset path, /<window>/pane<ID>/<attr>
+
+	// Parsed from Name for query convenience; not stored separately.
+	Window string
+	Pane   int
+	Attr   string
+
+	Type       hdf.DType
+	Dims       []int64
+	Attrs      []hdf.Attr
+	Compressed bool
+	HasCRC     bool
+	Offset     int64 // file offset of the stored bytes
+	Length     int64 // stored length (compressed size if deflated)
+	CRC        uint32
+}
+
+// Catalog is a generation's merged block index.
+type Catalog struct {
+	Files   []string // file names relative to the snapshot root
+	Entries []Entry
+}
+
+// AddFile merges one file's dataset descriptors into the catalog and
+// returns the file's index. Datasets whose names do not follow the pane
+// path grammar (e.g. server-side "_meta" markers) are skipped — the catalog
+// indexes restartable blocks, not bookkeeping.
+func (c *Catalog) AddFile(name string, sets []*hdf.Dataset) int {
+	idx := len(c.Files)
+	c.Files = append(c.Files, name)
+	for _, d := range sets {
+		window, pane, attr, ok := roccom.ParseDatasetName(d.Name)
+		if !ok {
+			continue
+		}
+		off, length := d.Extent()
+		crc, hasCRC := d.CRC()
+		c.Entries = append(c.Entries, Entry{
+			File:       idx,
+			Name:       d.Name,
+			Window:     window,
+			Pane:       pane,
+			Attr:       attr,
+			Type:       d.Type,
+			Dims:       d.Dims,
+			Attrs:      d.Attrs,
+			Compressed: d.Compressed(),
+			HasCRC:     hasCRC,
+			Offset:     off,
+			Length:     length,
+			CRC:        crc,
+		})
+	}
+	return idx
+}
+
+// entry flag bits (wire form).
+const (
+	entCompressed = 1 << 0
+	entHasCRC     = 1 << 1
+)
+
+// Encode serializes the catalog:
+//
+//	"RCAT" | u32 version | u32 crc32c(body) | body
+//	body:  u32 nfiles | files... | u32 nentries | entries...
+//	file:  u16 len | bytes
+//	entry: u32 fileIdx | str name | u8 type | u8 flags | u8 ndims |
+//	       u64 dims... | u64 offset | u64 length | u32 crc |
+//	       u16 nattrs | { str name | u8 type | u32 len | bytes }...
+func (c *Catalog) Encode() []byte {
+	var body []byte
+	body = binary.LittleEndian.AppendUint32(body, uint32(len(c.Files)))
+	for _, f := range c.Files {
+		body = appendStr(body, f)
+	}
+	body = binary.LittleEndian.AppendUint32(body, uint32(len(c.Entries)))
+	for _, e := range c.Entries {
+		body = binary.LittleEndian.AppendUint32(body, uint32(e.File))
+		body = appendStr(body, e.Name)
+		body = append(body, byte(e.Type))
+		var flags byte
+		if e.Compressed {
+			flags |= entCompressed
+		}
+		if e.HasCRC {
+			flags |= entHasCRC
+		}
+		body = append(body, flags, byte(len(e.Dims)))
+		for _, d := range e.Dims {
+			body = binary.LittleEndian.AppendUint64(body, uint64(d))
+		}
+		body = binary.LittleEndian.AppendUint64(body, uint64(e.Offset))
+		body = binary.LittleEndian.AppendUint64(body, uint64(e.Length))
+		body = binary.LittleEndian.AppendUint32(body, e.CRC)
+		body = binary.LittleEndian.AppendUint16(body, uint16(len(e.Attrs)))
+		for _, a := range e.Attrs {
+			body = appendStr(body, a.Name)
+			body = append(body, byte(a.Type))
+			body = binary.LittleEndian.AppendUint32(body, uint32(len(a.Data)))
+			body = append(body, a.Data...)
+		}
+	}
+
+	blob := make([]byte, 0, headerSize+len(body))
+	blob = append(blob, Magic...)
+	blob = binary.LittleEndian.AppendUint32(blob, Version)
+	blob = binary.LittleEndian.AppendUint32(blob, hdf.Checksum(body))
+	return append(blob, body...)
+}
+
+// Decode parses a catalog blob, verifying magic, version, and the body
+// checksum. All malformed-input paths are errors, never panics.
+func Decode(blob []byte) (*Catalog, error) {
+	if len(blob) < headerSize {
+		return nil, fmt.Errorf("catalog: blob too short (%d bytes)", len(blob))
+	}
+	if string(blob[:4]) != Magic {
+		return nil, fmt.Errorf("catalog: bad magic")
+	}
+	if v := binary.LittleEndian.Uint32(blob[4:]); v != Version {
+		return nil, fmt.Errorf("catalog: version %d, want %d", v, Version)
+	}
+	body := blob[headerSize:]
+	if want, got := binary.LittleEndian.Uint32(blob[8:]), hdf.Checksum(body); got != want {
+		return nil, fmt.Errorf("%w: catalog body crc32c %08x, computed %08x", hdf.ErrChecksum, want, got)
+	}
+	p := &parser{b: body}
+	c := &Catalog{}
+	nf := int(p.u32())
+	// Each file record is at least 2 bytes; cap the allocation by what the
+	// body could possibly hold before trusting the count.
+	if nf < 0 || nf > len(body)/2 {
+		return nil, fmt.Errorf("catalog: %d files cannot fit in %d bytes", nf, len(body))
+	}
+	c.Files = make([]string, 0, nf)
+	for i := 0; i < nf; i++ {
+		c.Files = append(c.Files, p.str())
+	}
+	ne := int(p.u32())
+	// The smallest possible entry (empty name, no dims, no attrs) is
+	// 4+2+1+1+1+8+8+4+2 = 31 bytes.
+	if ne < 0 || ne > len(body)/31 {
+		return nil, fmt.Errorf("catalog: %d entries cannot fit in %d bytes", ne, len(body))
+	}
+	c.Entries = make([]Entry, 0, ne)
+	for i := 0; i < ne; i++ {
+		var e Entry
+		e.File = int(p.u32())
+		e.Name = p.str()
+		e.Type = hdf.DType(p.u8())
+		flags := p.u8()
+		e.Compressed = flags&entCompressed != 0
+		e.HasCRC = flags&entHasCRC != 0
+		nd := int(p.u8())
+		e.Dims = make([]int64, nd)
+		for j := range e.Dims {
+			e.Dims[j] = int64(p.u64())
+		}
+		e.Offset = int64(p.u64())
+		e.Length = int64(p.u64())
+		e.CRC = p.u32()
+		na := int(p.u16())
+		if na > len(body)/7 { // min attr record: 2+1+4 bytes
+			return nil, fmt.Errorf("catalog: entry %d claims %d attrs in %d bytes", i, na, len(body))
+		}
+		e.Attrs = make([]hdf.Attr, na)
+		for j := range e.Attrs {
+			e.Attrs[j].Name = p.str()
+			e.Attrs[j].Type = hdf.DType(p.u8())
+			e.Attrs[j].Data = p.bytes(int(p.u32()))
+		}
+		if p.err != nil {
+			return nil, fmt.Errorf("catalog: corrupt at entry %d: %w", i, p.err)
+		}
+		if e.File < 0 || e.File >= len(c.Files) {
+			return nil, fmt.Errorf("catalog: entry %d references file %d of %d", i, e.File, len(c.Files))
+		}
+		if e.Offset < 0 || e.Length < 0 || e.Offset+e.Length < e.Offset {
+			return nil, fmt.Errorf("catalog: entry %d has bad extent [%d,+%d)", i, e.Offset, e.Length)
+		}
+		window, pane, attr, ok := roccom.ParseDatasetName(e.Name)
+		if !ok {
+			return nil, fmt.Errorf("catalog: entry %d has unparseable dataset name %q", i, e.Name)
+		}
+		e.Window, e.Pane, e.Attr = window, pane, attr
+		c.Entries = append(c.Entries, e)
+	}
+	if p.off != len(body) {
+		return nil, fmt.Errorf("catalog: %d trailing bytes after %d entries", len(body)-p.off, ne)
+	}
+	return c, nil
+}
+
+// Write stages the catalog at base+Suffix+tmp and renames it into place,
+// returning the blob's size and whole-blob CRC32C for the manifest's
+// catalog reference. It must be called before the manifest commit so the
+// generation's commit record never points at a missing catalog.
+func Write(fsys rt.FS, base string, c *Catalog) (size int64, crc uint32, err error) {
+	blob := c.Encode()
+	name := base + Suffix
+	tmp := name + hdf.TmpSuffix
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return 0, 0, err
+	}
+	if _, err := f.WriteAt(blob, 0); err != nil {
+		f.Close()
+		return 0, 0, fmt.Errorf("catalog: writing %s: %w", tmp, err)
+	}
+	if err := f.Close(); err != nil {
+		return 0, 0, err
+	}
+	if err := fsys.Rename(tmp, name); err != nil {
+		return 0, 0, err
+	}
+	return int64(len(blob)), hdf.Checksum(blob), nil
+}
+
+// Load reads and decodes a generation's catalog. Any failure — missing
+// file, bad magic, checksum mismatch, malformed body — is an error the
+// caller treats as "no usable catalog": restart falls back to the scan
+// path rather than abandoning the generation.
+func Load(fsys rt.FS, base string) (*Catalog, error) {
+	f, err := fsys.Open(base + Suffix)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	size, err := f.Size()
+	if err != nil {
+		return nil, err
+	}
+	blob := make([]byte, size)
+	if _, err := f.ReadAt(blob, 0); err != nil {
+		return nil, fmt.Errorf("catalog: reading %s: %w", f.Name(), err)
+	}
+	return Decode(blob)
+}
+
+// Panes returns the sorted set of pane IDs present in a window — the
+// generation's pane universe, the input to the repartitioner.
+func (c *Catalog) Panes(window string) []int {
+	seen := make(map[int]bool)
+	for i := range c.Entries {
+		if c.Entries[i].Window == window {
+			seen[c.Entries[i].Pane] = true
+		}
+	}
+	ids := make([]int, 0, len(seen))
+	for id := range seen {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// FilePlan is the read plan for one file: which entries to fetch, sorted by
+// offset so adjacent extents coalesce into single reads.
+type FilePlan struct {
+	File    string
+	Entries []Entry
+}
+
+// PlanReads builds per-file read plans covering the wanted panes of a
+// window. When a pane appears in more than one file (failover re-ships
+// blocks to an adopting server), only the earliest-indexed file's copy is
+// planned, mirroring the scan path's first-arrival dedup. Plans come back
+// in file-index order with entries sorted by offset.
+func (c *Catalog) PlanReads(window string, wanted map[int]bool) []FilePlan {
+	fileOf := make(map[int]int) // pane → earliest file index holding it
+	for i := range c.Entries {
+		e := &c.Entries[i]
+		if e.Window != window || !wanted[e.Pane] {
+			continue
+		}
+		if cur, ok := fileOf[e.Pane]; !ok || e.File < cur {
+			fileOf[e.Pane] = e.File
+		}
+	}
+	byFile := make(map[int][]Entry)
+	for i := range c.Entries {
+		e := &c.Entries[i]
+		if e.Window != window || fileOf[e.Pane] != e.File || !wanted[e.Pane] {
+			continue
+		}
+		byFile[e.File] = append(byFile[e.File], *e)
+	}
+	idxs := make([]int, 0, len(byFile))
+	for idx := range byFile {
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs)
+	plans := make([]FilePlan, 0, len(idxs))
+	for _, idx := range idxs {
+		ents := byFile[idx]
+		sort.Slice(ents, func(a, b int) bool { return ents[a].Offset < ents[b].Offset })
+		plans = append(plans, FilePlan{File: c.Files[idx], Entries: ents})
+	}
+	return plans
+}
+
+// Run is one contiguous byte range to read from a file.
+type Run struct {
+	Offset, Length int64
+}
+
+// Coalesce merges offset-sorted entries into contiguous read runs,
+// combining extents whose gap is at most maxGap bytes — the request-merging
+// optimization from the MPI-IO noncontiguous-access literature, made
+// possible by having an index at all.
+func Coalesce(entries []Entry, maxGap int64) []Run {
+	var runs []Run
+	for _, e := range entries {
+		end := e.Offset + e.Length
+		if n := len(runs); n > 0 && e.Offset <= runs[n-1].Offset+runs[n-1].Length+maxGap {
+			if end > runs[n-1].Offset+runs[n-1].Length {
+				runs[n-1].Length = end - runs[n-1].Offset
+			}
+			continue
+		}
+		runs = append(runs, Run{Offset: e.Offset, Length: e.Length})
+	}
+	return runs
+}
+
+// Repartition deterministically assigns a pane universe to n ranks:
+// pane IDs are sorted ascending, deduplicated, and dealt round-robin, so
+// sorted[i] goes to rank i%n. Every rank computes the same assignment from
+// the same universe with no communication, and the universe comes from the
+// catalog — the mechanism that decouples restart topology from the writing
+// run's decomposition.
+func Repartition(ids []int, n int) [][]int {
+	if n <= 0 {
+		return nil
+	}
+	sorted := append([]int(nil), ids...)
+	sort.Ints(sorted)
+	out := make([][]int, n)
+	prev := 0
+	k := 0
+	for _, id := range sorted {
+		if k > 0 && id == prev {
+			continue
+		}
+		out[k%n] = append(out[k%n], id)
+		prev = id
+		k++
+	}
+	return out
+}
+
+func appendStr(b []byte, s string) []byte {
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(s)))
+	return append(b, s...)
+}
+
+// parser is a bounds-checked little-endian cursor over the catalog body.
+type parser struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (p *parser) need(n int) bool {
+	if p.err != nil {
+		return false
+	}
+	if n < 0 || p.off+n > len(p.b) {
+		p.err = fmt.Errorf("truncated at offset %d (need %d of %d)", p.off, n, len(p.b))
+		return false
+	}
+	return true
+}
+
+func (p *parser) u8() uint8 {
+	if !p.need(1) {
+		return 0
+	}
+	v := p.b[p.off]
+	p.off++
+	return v
+}
+
+func (p *parser) u16() uint16 {
+	if !p.need(2) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(p.b[p.off:])
+	p.off += 2
+	return v
+}
+
+func (p *parser) u32() uint32 {
+	if !p.need(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(p.b[p.off:])
+	p.off += 4
+	return v
+}
+
+func (p *parser) u64() uint64 {
+	if !p.need(8) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(p.b[p.off:])
+	p.off += 8
+	return v
+}
+
+func (p *parser) bytes(n int) []byte {
+	if !p.need(n) {
+		return nil
+	}
+	v := append([]byte(nil), p.b[p.off:p.off+n]...)
+	p.off += n
+	return v
+}
+
+func (p *parser) str() string { return string(p.bytes(int(p.u16()))) }

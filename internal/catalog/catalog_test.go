@@ -1,0 +1,222 @@
+package catalog
+
+import (
+	"reflect"
+	"testing"
+
+	"genxio/internal/hdf"
+	"genxio/internal/rt"
+)
+
+// writeRHDF builds a small RHDF file and returns its decoded directory, the
+// same inputs snapshot.Commit feeds AddFile.
+func writeRHDF(t *testing.T, fsys rt.FS, name string, sets map[string][]byte) []*hdf.Dataset {
+	t.Helper()
+	clock := rt.NewWallClock()
+	w, err := hdf.Create(fsys, name, clock, hdf.NullProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for dsName, data := range sets {
+		attrs := []hdf.Attr{hdf.StrAttr("location", "node")}
+		if err := w.CreateDataset(dsName, hdf.U8, []int64{int64(len(data))}, attrs, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, _, dir, err := hdf.ScanDir(fsys, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func buildCatalog(t *testing.T, fsys rt.FS) *Catalog {
+	t.Helper()
+	c := &Catalog{}
+	c.AddFile("snap_s000.rhdf", writeRHDF(t, fsys, "snap_s000.rhdf", map[string][]byte{
+		"/fluid/pane000001/pressure": []byte("aaaa"),
+		"/fluid/pane000001/_coords":  []byte("bbbbbbbb"),
+		"/fluid/pane000002/pressure": []byte("cccc"),
+		"_meta":                      []byte("x"),
+	}))
+	c.AddFile("snap_s001.rhdf", writeRHDF(t, fsys, "snap_s001.rhdf", map[string][]byte{
+		"/fluid/pane000003/pressure": []byte("dddd"),
+		// pane 2 re-shipped after failover: dedup must prefer file 0.
+		"/fluid/pane000002/pressure": []byte("cccc"),
+	}))
+	return c
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	fsys := rt.NewMemFS()
+	c := buildCatalog(t, fsys)
+	got, err := Decode(c.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(c.Files, got.Files) {
+		t.Fatalf("files: got %v want %v", got.Files, c.Files)
+	}
+	if len(got.Entries) != len(c.Entries) {
+		t.Fatalf("entries: got %d want %d", len(got.Entries), len(c.Entries))
+	}
+	for i := range c.Entries {
+		if !reflect.DeepEqual(c.Entries[i], got.Entries[i]) {
+			t.Errorf("entry %d: got %+v want %+v", i, got.Entries[i], c.Entries[i])
+		}
+	}
+}
+
+func TestAddFileSkipsNonPaneDatasets(t *testing.T) {
+	fsys := rt.NewMemFS()
+	c := buildCatalog(t, fsys)
+	for _, e := range c.Entries {
+		if e.Name == "_meta" {
+			t.Fatal("bookkeeping dataset _meta indexed")
+		}
+	}
+	if len(c.Entries) != 5 {
+		t.Fatalf("got %d entries, want 5", len(c.Entries))
+	}
+}
+
+func TestPanes(t *testing.T) {
+	fsys := rt.NewMemFS()
+	c := buildCatalog(t, fsys)
+	if got := c.Panes("fluid"); !reflect.DeepEqual(got, []int{1, 2, 3}) {
+		t.Fatalf("Panes(fluid) = %v", got)
+	}
+	if got := c.Panes("solid"); len(got) != 0 {
+		t.Fatalf("Panes(solid) = %v", got)
+	}
+}
+
+func TestPlanReadsDedupsAcrossFiles(t *testing.T) {
+	fsys := rt.NewMemFS()
+	c := buildCatalog(t, fsys)
+	plans := c.PlanReads("fluid", map[int]bool{1: true, 2: true, 3: true})
+	if len(plans) != 2 {
+		t.Fatalf("got %d plans, want 2", len(plans))
+	}
+	if plans[0].File != "snap_s000.rhdf" || plans[1].File != "snap_s001.rhdf" {
+		t.Fatalf("plan files: %s, %s", plans[0].File, plans[1].File)
+	}
+	// Pane 2 appears in both files; only file 0's copy is planned.
+	for _, e := range plans[1].Entries {
+		if e.Pane == 2 {
+			t.Fatal("pane 2 planned from file 1 despite copy in file 0")
+		}
+	}
+	if len(plans[0].Entries) != 3 || len(plans[1].Entries) != 1 {
+		t.Fatalf("entry counts: %d, %d", len(plans[0].Entries), len(plans[1].Entries))
+	}
+	for _, p := range plans {
+		for i := 1; i < len(p.Entries); i++ {
+			if p.Entries[i].Offset < p.Entries[i-1].Offset {
+				t.Fatalf("%s entries not offset-sorted", p.File)
+			}
+		}
+	}
+	// Only the file holding pane 3 is planned when that is all we want.
+	plans = c.PlanReads("fluid", map[int]bool{3: true})
+	if len(plans) != 1 || plans[0].File != "snap_s001.rhdf" {
+		t.Fatalf("single-pane plan: %+v", plans)
+	}
+}
+
+func TestCoalesce(t *testing.T) {
+	ents := []Entry{
+		{Offset: 0, Length: 10},
+		{Offset: 10, Length: 5}, // adjacent: merges
+		{Offset: 20, Length: 5}, // gap 5
+		{Offset: 40, Length: 5},
+	}
+	if got := Coalesce(ents, 0); !reflect.DeepEqual(got, []Run{{0, 15}, {20, 5}, {40, 5}}) {
+		t.Fatalf("maxGap 0: %v", got)
+	}
+	if got := Coalesce(ents, 5); !reflect.DeepEqual(got, []Run{{0, 25}, {40, 5}}) {
+		t.Fatalf("maxGap 5: %v", got)
+	}
+	if got := Coalesce(nil, 0); got != nil {
+		t.Fatalf("empty: %v", got)
+	}
+}
+
+func TestRepartitionDeterministic(t *testing.T) {
+	got := Repartition([]int{42, 7, 100, 3, 9, 55}, 4)
+	want := [][]int{{3, 55}, {7, 100}, {9}, {42}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Repartition = %v, want %v", got, want)
+	}
+	// Duplicates collapse; more ranks than panes leaves tail ranks empty.
+	got = Repartition([]int{5, 5, 1}, 4)
+	if !reflect.DeepEqual(got[0], []int{1}) || !reflect.DeepEqual(got[1], []int{5}) ||
+		got[2] != nil || got[3] != nil {
+		t.Fatalf("Repartition dup = %v", got)
+	}
+	if Repartition([]int{1}, 0) != nil {
+		t.Fatal("n=0 should return nil")
+	}
+}
+
+func TestWriteLoadRoundTrip(t *testing.T) {
+	fsys := rt.NewMemFS()
+	c := buildCatalog(t, fsys)
+	size, crc, err := Write(fsys, "snap", c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := c.Encode()
+	if size != int64(len(blob)) || crc != hdf.Checksum(blob) {
+		t.Fatalf("Write returned size %d crc %08x, want %d %08x", size, crc, len(blob), hdf.Checksum(blob))
+	}
+	if _, err := fsys.Open("snap" + Suffix + hdf.TmpSuffix); err == nil {
+		t.Fatal("staging file left behind")
+	}
+	got, err := Load(fsys, "snap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Files, c.Files) || len(got.Entries) != len(c.Entries) {
+		t.Fatalf("Load mismatch: %+v", got)
+	}
+}
+
+func TestLoadRejectsCorruptBlob(t *testing.T) {
+	fsys := rt.NewMemFS()
+	c := buildCatalog(t, fsys)
+	if _, _, err := Write(fsys, "snap", c); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fsys.Open("snap" + Suffix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size, _ := f.Size()
+	blob := make([]byte, size)
+	f.ReadAt(blob, 0)
+	f.Close()
+
+	flipped := append([]byte(nil), blob...)
+	flipped[headerSize+3] ^= 0x10
+	g, _ := fsys.Create("snap" + Suffix)
+	g.WriteAt(flipped, 0)
+	g.Close()
+	if _, err := Load(fsys, "snap"); err == nil {
+		t.Fatal("bit-flipped catalog loaded without error")
+	}
+
+	for _, blob := range [][]byte{
+		nil,
+		[]byte("RC"),
+		[]byte("XCAT\x01\x00\x00\x00\x00\x00\x00\x00"),
+		[]byte("RCAT\x09\x00\x00\x00\x00\x00\x00\x00"),
+	} {
+		if _, err := Decode(blob); err == nil {
+			t.Fatalf("Decode(%q) succeeded", blob)
+		}
+	}
+}

@@ -18,8 +18,11 @@ import (
 // BenchSchema identifies the BENCH_*.json layout; bump on breaking
 // changes so downstream tooling can dispatch. v2 added the durability
 // counters (hdf.checksum_failures, rocpanda.restart.generations_scanned,
-// rocpanda.restart.fallbacks) to every module's metrics snapshot.
-const BenchSchema = "genxio-bench/v2"
+// rocpanda.restart.fallbacks) to every module's metrics snapshot. v3
+// added the block-catalog restart counters
+// (rocpanda.restart.catalog_hits, .catalog_fallbacks, .files_opened,
+// .bytes_read).
+const BenchSchema = "genxio-bench/v3"
 
 // BenchOpts configures the observability bench: one small integrated run
 // per I/O module on the simulated Turing platform, with a metrics

@@ -153,6 +153,11 @@ func (d *Dataset) Compressed() bool { return d.flags&flagDeflate != 0 }
 // dataset carries one (version-2 files and their appended datasets do not).
 func (d *Dataset) CRC() (uint32, bool) { return d.crc, d.flags&flagHasCRC != 0 }
 
+// Extent returns the file offset and stored byte length of the dataset's
+// payload — the direct-read coordinates recorded by the block catalog, so
+// restart can fetch the bytes without re-parsing the file's directory.
+func (d *Dataset) Extent() (offset, length int64) { return d.offset, d.length }
+
 // Len returns the number of elements (product of Dims).
 func (d *Dataset) Len() int64 {
 	n := int64(1)

@@ -141,14 +141,25 @@ func (r *Reader) ReadData(d *Dataset) ([]byte, error) {
 	if !d.Compressed() {
 		return buf, nil
 	}
-	logical := d.Len() * int64(d.Type.Size())
-	zr := flate.NewReader(bytes.NewReader(buf))
+	out, err := InflateStored(buf, d.Len()*int64(d.Type.Size()))
+	if err != nil {
+		return nil, fmt.Errorf("hdf: %q: %w", d.Name, err)
+	}
+	return out, nil
+}
+
+// InflateStored inflates a deflate-compressed stored payload and checks it
+// against the expected logical size. It is the decompression step shared
+// by ReadData and the catalog's direct offset reads, which fetch stored
+// bytes without going through a Reader.
+func InflateStored(stored []byte, logical int64) ([]byte, error) {
+	zr := flate.NewReader(bytes.NewReader(stored))
 	out, err := io.ReadAll(io.LimitReader(zr, logical+1))
 	if err != nil {
-		return nil, fmt.Errorf("hdf: inflating %q: %w", d.Name, err)
+		return nil, fmt.Errorf("inflating: %w", err)
 	}
 	if int64(len(out)) != logical {
-		return nil, fmt.Errorf("hdf: %q inflated to %d bytes, want %d", d.Name, len(out), logical)
+		return nil, fmt.Errorf("inflated to %d bytes, want %d", len(out), logical)
 	}
 	return out, nil
 }
@@ -239,24 +250,53 @@ func decodeDir(b []byte, version uint32) ([]*Dataset, error) {
 // size, the CRC32C of its directory bytes, and its dataset count. It reads
 // only the header and directory, not the dataset payloads.
 func DirInfo(fsys rt.FS, name string) (size int64, dirCRC uint32, numSets int, err error) {
-	f, err := fsys.Open(name)
+	size, dirCRC, sets, err := ScanDir(fsys, name)
 	if err != nil {
 		return 0, 0, 0, err
+	}
+	return size, dirCRC, len(sets), nil
+}
+
+// ScanDir reads and decodes a committed RHDF file's directory without
+// touching dataset payloads, returning the file size, the CRC32C of the raw
+// directory bytes, and the full dataset descriptors (names, shapes, extents,
+// per-dataset CRCs). The snapshot commit path uses it to derive both the
+// manifest file entry and the block-catalog index from a single pass —
+// the file's own directory is the per-file index.
+func ScanDir(fsys rt.FS, name string) (size int64, dirCRC uint32, sets []*Dataset, err error) {
+	f, err := fsys.Open(name)
+	if err != nil {
+		return 0, 0, nil, err
 	}
 	defer f.Close()
 	size, err = f.Size()
 	if err != nil {
-		return 0, 0, 0, err
+		return 0, 0, nil, err
 	}
-	_, dirOff, count, err := readHeader(f, size)
+	version, dirOff, count, err := readHeader(f, size)
 	if err != nil {
-		return 0, 0, 0, err
+		return 0, 0, nil, err
 	}
 	dir := make([]byte, size-dirOff)
 	if _, err := f.ReadAt(dir, dirOff); err != nil {
-		return 0, 0, 0, fmt.Errorf("hdf: reading directory of %s: %w", f.Name(), err)
+		return 0, 0, nil, fmt.Errorf("hdf: reading directory of %s: %w", f.Name(), err)
 	}
-	return size, Checksum(dir), count, nil
+	sets, err = decodeDir(dir, version)
+	if err != nil {
+		return 0, 0, nil, fmt.Errorf("hdf: %s: %w", f.Name(), err)
+	}
+	if len(sets) != count {
+		return 0, 0, nil, fmt.Errorf("hdf: %s header says %d datasets, directory has %d", f.Name(), count, len(sets))
+	}
+	return size, Checksum(dir), sets, nil
+}
+
+// DirEntries returns a committed RHDF file's dataset descriptors without
+// reading payload bytes — the scan-side building block for discovering which
+// panes a file holds when no catalog is available.
+func DirEntries(fsys rt.FS, name string) ([]*Dataset, error) {
+	_, _, sets, err := ScanDir(fsys, name)
+	return sets, err
 }
 
 // parser is a bounds-checked little-endian cursor.

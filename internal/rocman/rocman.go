@@ -149,6 +149,10 @@ func Run(ctx mpi.Ctx, cfg Config) (*Report, error) {
 	cfg.Metrics.Counter("hdf.checksum_failures")
 	cfg.Metrics.Counter("rocpanda.restart.generations_scanned")
 	cfg.Metrics.Counter("rocpanda.restart.fallbacks")
+	cfg.Metrics.Counter("rocpanda.restart.catalog_hits")
+	cfg.Metrics.Counter("rocpanda.restart.catalog_fallbacks")
+	cfg.Metrics.Counter("rocpanda.restart.files_opened")
+	cfg.Metrics.Counter("rocpanda.restart.bytes_read")
 
 	// I/O module selection: Rocpanda splits the world; the Rochdf
 	// variants use the world communicator directly.

@@ -1,0 +1,155 @@
+package rocpanda
+
+import (
+	"fmt"
+	"testing"
+
+	"genxio/internal/catalog"
+	"genxio/internal/faults"
+	"genxio/internal/hdf"
+	"genxio/internal/metrics"
+	"genxio/internal/mpi"
+	"genxio/internal/roccom"
+	"genxio/internal/rt"
+)
+
+// snapshotBytes sums the committed .rhdf payload sizes of a generation.
+func snapshotBytes(t *testing.T, fs rt.FS, prefix string) int64 {
+	t.Helper()
+	var total int64
+	for _, name := range listRHDF(t, fs, prefix) {
+		f, err := fs.Open(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		size, err := f.Size()
+		f.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += size
+	}
+	return total
+}
+
+// restartOnePane restarts the generation with client 0 wanting exactly
+// one pane and every other client sending an empty (collective) request,
+// recording restart counters in reg.
+func restartOnePane(t *testing.T, fs rt.FS, file string, nClients, nServers, paneID int, reg *metrics.Registry) {
+	t.Helper()
+	world := mpi.NewChanWorld(fs, 1)
+	err := world.Run(nClients+nServers, func(ctx mpi.Ctx) error {
+		cl, err := Init(ctx, Config{
+			NumServers: nServers, Profile: hdf.NullProfile(),
+			ActiveBuffering: true, Metrics: reg,
+		})
+		if err != nil {
+			return err
+		}
+		if cl == nil {
+			return nil
+		}
+		rc := roccom.New()
+		w, err := rc.NewWindow("fluid")
+		if err != nil {
+			return err
+		}
+		w.NewAttribute(roccom.AttrSpec{Name: "pressure", Loc: roccom.NodeLoc, Type: hdf.F64, NComp: 1})
+		w.NewAttribute(roccom.AttrSpec{Name: "flags", Loc: roccom.PaneLoc, Type: hdf.I32, NComp: 1})
+		var mine []int
+		if cl.Comm().Rank() == 0 {
+			mine = []int{paneID}
+		}
+		readErr := cl.ReadPanes(file, w, "all", mine)
+		if readErr == nil && cl.Comm().Rank() == 0 {
+			if _, ok := w.Pane(paneID); !ok {
+				readErr = fmt.Errorf("pane %d not restored", paneID)
+			}
+		}
+		if err := cl.Shutdown(); err != nil {
+			return err
+		}
+		return readErr
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIndexedRestartReadsOnlyNeededFiles is the catalog's efficiency
+// claim, counter-asserted: restarting a single pane must open only the
+// one file that contains it and read only that pane's extents, not the
+// whole snapshot.
+func TestIndexedRestartReadsOnlyNeededFiles(t *testing.T) {
+	fs := rt.NewMemFS()
+	const nClients, nServers = 4, 2
+	writeSnapshot(t, fs, "eff/s", nClients, nServers, 2)
+
+	cat, err := catalog.Load(fs, "eff/s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	panes := cat.Panes("fluid")
+	if len(panes) != nClients*2 {
+		t.Fatalf("pane universe %v, want %d panes", panes, nClients*2)
+	}
+	pane := panes[0]
+	if plans := cat.PlanReads("fluid", map[int]bool{pane: true}); len(plans) != 1 {
+		t.Fatalf("pane %d planned across %d files, want 1", pane, len(plans))
+	}
+
+	reg := metrics.New()
+	restartOnePane(t, fs, "eff/s", nClients, nServers, pane, reg)
+	s := reg.Snapshot()
+	if got := s.Counters["rocpanda.restart.catalog_hits"]; got != nServers {
+		t.Fatalf("catalog_hits = %d, want %d (every server indexed)", got, nServers)
+	}
+	if got := s.Counters["rocpanda.restart.catalog_fallbacks"]; got != 0 {
+		t.Fatalf("catalog_fallbacks = %d, want 0", got)
+	}
+	if got := s.Counters["rocpanda.restart.files_opened"]; got != 1 {
+		t.Fatalf("files_opened = %d, want 1 (only the pane's file)", got)
+	}
+	total := snapshotBytes(t, fs, "eff/s")
+	read := int64(s.Counters["rocpanda.restart.bytes_read"])
+	if read <= 0 || read >= total {
+		t.Fatalf("bytes_read = %d, want in (0, %d): direct offset reads, not a scan", read, total)
+	}
+}
+
+// TestCorruptCatalogFallsBackToScan bit-flips the committed catalog blob:
+// the servers must detect the damage (blob CRC), count a fallback, scan
+// the directory instead, and still restart every pane bit-exact. A
+// missing catalog (older writer) takes the same path.
+func TestCorruptCatalogFallsBackToScan(t *testing.T) {
+	fs := rt.NewMemFS()
+	const nClients, nServers = 3, 1
+	writeSnapshot(t, fs, "corr/s", nClients, nServers, 2)
+	want := expectedPanes(t, nClients, 2)
+
+	// Flip a body bit, past the 12-byte catalog header.
+	if err := faults.FlipBit(fs, "corr/s"+catalog.Suffix, 12*8+3); err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.New()
+	got := restartTopology(t, fs, "corr/s", nClients, nServers, reg)
+	checkMxN(t, want, got)
+	s := reg.Snapshot()
+	if s.Counters["rocpanda.restart.catalog_fallbacks"] != nServers {
+		t.Fatalf("catalog_fallbacks = %d, want %d", s.Counters["rocpanda.restart.catalog_fallbacks"], nServers)
+	}
+	if s.Counters["rocpanda.restart.catalog_hits"] != 0 {
+		t.Fatalf("catalog_hits = %d, want 0", s.Counters["rocpanda.restart.catalog_hits"])
+	}
+
+	// No catalog at all: the scan path still recovers everything.
+	if err := fs.Remove("corr/s" + catalog.Suffix); err != nil {
+		t.Fatal(err)
+	}
+	reg = metrics.New()
+	got = restartTopology(t, fs, "corr/s", nClients, nServers, reg)
+	checkMxN(t, want, got)
+	if n := reg.Snapshot().Counters["rocpanda.restart.catalog_fallbacks"]; n != nServers {
+		t.Fatalf("catalog-less fallbacks = %d, want %d", n, nServers)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 
+	"genxio/internal/catalog"
 	"genxio/internal/metrics"
 	"genxio/internal/mpi"
 	"genxio/internal/roccom"
@@ -28,6 +29,7 @@ type Metrics struct {
 	BytesOut     int64 // payload bytes shipped to the server
 	Retries      int   // operations retried after a server wait timed out
 	Failovers    int   // servers this client declared dead
+	IndexedReads int   // restart rounds a server served from the block catalog
 }
 
 // Client is a compute process's handle to the Rocpanda service. It
@@ -166,8 +168,20 @@ func (c *Client) WriteAttribute(file string, w *roccom.Window, attr string, tm f
 // ReadAttribute implements roccom.IOService: collective restart. The
 // window's registered pane IDs define this client's wanted blocks; every
 // client sends its list to every server, and servers ship back the blocks
-// found while scanning their round-robin share of the snapshot files.
+// found in their round-robin share of the snapshot files — through the
+// block catalog's direct offset reads when the generation has one, by
+// scanning file directories otherwise.
 func (c *Client) ReadAttribute(file string, w *roccom.Window, attr string) error {
+	return c.ReadPanes(file, w, attr, w.PaneIDs())
+}
+
+// ReadPanes is ReadAttribute with an explicit wanted-pane list, the M×N
+// building block: a restart run's panes come from the repartitioner (see
+// PanesForRestart), not from what this rank happened to write — with attr
+// "all" the panes need not be registered in the window yet. The call is
+// collective over the clients even when this rank wants nothing (an empty
+// list still sends the request, so servers see every requester).
+func (c *Client) ReadPanes(file string, w *roccom.Window, attr string, ids []int) error {
 	if c.shutdown {
 		return fmt.Errorf("rocpanda: read after shutdown")
 	}
@@ -190,7 +204,6 @@ func (c *Client) ReadAttribute(file string, w *roccom.Window, attr string) error
 		return fmt.Errorf("rocpanda: restart of %q: all %d servers failed", file, c.numServers)
 	}
 
-	ids := w.PaneIDs()
 	req := readReq{File: file, Window: w.Name, Attr: attr,
 		PaneIDs: make([]int32, len(ids)), Alive: make([]int32, len(alive))}
 	for i, id := range ids {
@@ -223,6 +236,9 @@ func (c *Client) ReadAttribute(file string, w *roccom.Window, attr string) error
 		switch st.Tag {
 		case tagReadDone:
 			dones++
+			if len(data) == 1 && data[0] == doneModeIndexed {
+				c.m.IndexedReads++
+			}
 		case tagReadBlock:
 			sets, err := roccom.DecodeIOSets(data)
 			if err != nil {
@@ -397,6 +413,22 @@ func genPrefix(base string) string {
 		return base[:i+1]
 	}
 	return ""
+}
+
+// PanesForRestart returns the panes this client should recover from a
+// committed generation: the generation's pane universe for the window
+// (from the block catalog, or a directory walk on catalog-less
+// generations), dealt round-robin over the current client count. Every
+// client computes the same assignment with no communication, so a run may
+// restart with any topology — more clients, fewer, different server
+// counts — and ReadPanes with attr "all" rebuilds panes this rank never
+// wrote.
+func (c *Client) PanesForRestart(base, window string) ([]int, error) {
+	ids, err := snapshot.PaneUniverse(c.ctx.FS(), base, window)
+	if err != nil {
+		return nil, err
+	}
+	return catalog.Repartition(ids, c.nClients)[c.myIdx], nil
 }
 
 // RestoreLatest walks the snapshot generations under prefix newest-first

@@ -25,6 +25,14 @@ const (
 	tagAdopt
 )
 
+// tagReadDone payload: one mode byte reporting how the server served its
+// share of the restart, so clients (and their metrics) can tell indexed
+// reads from scan fallbacks. Older-style empty payloads decode as scan.
+const (
+	doneModeScan    = 0 // directory walk over the server's file share
+	doneModeIndexed = 1 // catalog-planned direct offset reads
+)
+
 // writeHdr announces a collective write from one client: nblocks block
 // messages follow on tagWriteBlock.
 type writeHdr struct {

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync/atomic"
 
+	"genxio/internal/catalog"
 	"genxio/internal/faults"
 	"genxio/internal/hdf"
 	"genxio/internal/metrics"
@@ -15,17 +16,21 @@ import (
 
 // ServerMetrics accumulates one server's activity.
 type ServerMetrics struct {
-	Idx            int
-	BlocksBuffered int
-	BlocksWritten  int
-	BytesWritten   int64 // payload bytes drained to files
-	FilesCreated   int
-	MaxBufBytes    int64
-	Overflows      int  // synchronous partial drains due to capacity
-	ReadsServed    int  // restart blocks shipped to clients
-	ClientsAdopted int  // clients inherited from failed servers (degraded mode)
-	FilesSkipped   int  // unreadable snapshot files skipped during restart scans
-	Crashed        bool // the server died to an injected crash
+	Idx              int
+	BlocksBuffered   int
+	BlocksWritten    int
+	BytesWritten     int64 // payload bytes drained to files
+	FilesCreated     int
+	MaxBufBytes      int64
+	Overflows        int   // synchronous partial drains due to capacity
+	ReadsServed      int   // restart blocks shipped to clients
+	ClientsAdopted   int   // clients inherited from failed servers (degraded mode)
+	FilesSkipped     int   // unreadable snapshot files skipped during restart scans
+	FilesOpened      int   // snapshot files opened while serving restarts
+	RestartBytes     int64 // payload bytes read from snapshot files during restarts
+	CatalogHits      int   // restart rounds served from the block catalog
+	CatalogFallbacks int   // restart rounds that fell back to the directory scan
+	Crashed          bool  // the server died to an injected crash
 }
 
 // serverCrashed is the panic sentinel of an injected server crash; run
@@ -91,6 +96,13 @@ type srvMx struct {
 	bufBytesPeak   *metrics.Gauge
 	drainSeconds   *metrics.Histogram
 	scanSeconds    *metrics.Histogram
+
+	// Restart I/O-efficiency counters (catalog vs scan).
+	filesOpened      *metrics.Counter
+	restartBytes     *metrics.Counter
+	catalogHits      *metrics.Counter
+	catalogFallbacks *metrics.Counter
+	checksumFails    *metrics.Counter
 }
 
 func newSrvMx(r *metrics.Registry) srvMx {
@@ -106,6 +118,12 @@ func newSrvMx(r *metrics.Registry) srvMx {
 		bufBytesPeak:   r.Gauge("rocpanda.server.buf_bytes_peak"),
 		drainSeconds:   r.Histogram("rocpanda.server.drain_seconds", nil),
 		scanSeconds:    r.Histogram("rocpanda.server.restart_scan_seconds", nil),
+
+		filesOpened:      r.Counter("rocpanda.restart.files_opened"),
+		restartBytes:     r.Counter("rocpanda.restart.bytes_read"),
+		catalogHits:      r.Counter("rocpanda.restart.catalog_hits"),
+		catalogFallbacks: r.Counter("rocpanda.restart.catalog_fallbacks"),
+		checksumFails:    r.Counter("hdf.checksum_failures"),
 	}
 }
 
@@ -431,23 +449,186 @@ func (s *server) serveRead(file, window string, round *readRound) {
 			pos = i
 		}
 	}
+	mode := byte(doneModeScan)
 	if pos >= 0 {
-		names, err := s.ctx.FS().List(file + "_s")
-		if err != nil {
-			panic(err)
-		}
-		for i, name := range names {
-			if i%len(alive) != pos {
-				continue // round-robin file assignment
+		if s.serveIndexed(file, window, round, alive, pos) {
+			mode = doneModeIndexed
+			s.m.CatalogHits++
+			s.mx.catalogHits.Inc()
+		} else {
+			s.m.CatalogFallbacks++
+			s.mx.catalogFallbacks.Inc()
+			names, err := s.ctx.FS().List(file + "_s")
+			if err != nil {
+				panic(err)
 			}
-			if !strings.HasSuffix(name, ".rhdf") {
-				continue
+			for i, name := range names {
+				if i%len(alive) != pos {
+					continue // round-robin file assignment
+				}
+				if !strings.HasSuffix(name, ".rhdf") {
+					continue
+				}
+				s.scanFile(name, window, round)
 			}
-			s.scanFile(name, window, round)
 		}
 	}
 	for _, c := range s.allClients {
-		s.world.Send(c, tagReadDone, nil)
+		s.world.Send(c, tagReadDone, []byte{mode})
+	}
+}
+
+// serveIndexed serves this server's share of a restart round from the
+// generation's block catalog: only the share's files that actually hold
+// requested panes are opened, wanted extents are coalesced into contiguous
+// reads, and every entry verifies against its recorded CRC32C before
+// anything from its file ships. It returns false when no usable catalog
+// exists (older generation, or one damaged past its checksum) and the
+// caller falls back to the directory scan.
+//
+// The file share is the same round-robin assignment over the same listing
+// the scan path uses, so a server that falls back still covers a superset
+// of the files the indexed assignment would have given it — servers
+// disagreeing about the catalog's health can only re-ship panes (clients
+// dedupe on first arrival), never leave a file unserved.
+func (s *server) serveIndexed(file, window string, round *readRound, alive []int, pos int) bool {
+	cat, err := catalog.Load(s.ctx.FS(), file)
+	if err != nil {
+		return false
+	}
+	wanted := make(map[int]bool, len(round.wantAll))
+	for id := range round.wantAll {
+		wanted[id] = true
+	}
+	plans := cat.PlanReads(window, wanted)
+	planByFile := make(map[string]catalog.FilePlan, len(plans))
+	for _, p := range plans {
+		planByFile[p.File] = p
+	}
+	inCat := make(map[string]bool, len(cat.Files))
+	for _, name := range cat.Files {
+		inCat[name] = true
+	}
+	names, err := s.ctx.FS().List(file + "_s")
+	if err != nil {
+		panic(err)
+	}
+	for i, name := range names {
+		if i%len(alive) != pos {
+			continue // round-robin file assignment
+		}
+		if plan, ok := planByFile[name]; ok {
+			s.shipPlan(name, round, plan)
+			continue
+		}
+		if inCat[name] || !strings.HasSuffix(name, ".rhdf") {
+			// The catalog knows this file and planned nothing from it: no
+			// requested panes here, skipped without even opening it — the
+			// indexed read's whole win.
+			continue
+		}
+		// A file the commit never saw: a server wrongly declared dead
+		// drains and renames its file into place after the committing
+		// client wrote the manifest. The catalog cannot vouch for it
+		// either way, so it gets the directory scan.
+		s.scanFile(name, window, round)
+	}
+	return true
+}
+
+// shipPlan serves one file's planned extents with direct offset reads: no
+// directory parse, no per-dataset lookup cost — the catalog already knows
+// where everything is. Adjacent extents coalesce into single reads. On any
+// damage (CRC mismatch, short read, bad inflate) the whole file is skipped
+// before anything ships, matching the scan path's semantics so a restart
+// never mixes verified and unverified panes from one file.
+func (s *server) shipPlan(name string, round *readRound, plan catalog.FilePlan) {
+	f, err := s.ctx.FS().Open(name)
+	if err != nil {
+		s.m.FilesSkipped++
+		s.mx.filesSkipped.Inc()
+		return
+	}
+	defer f.Close()
+	s.m.FilesOpened++
+	s.mx.filesOpened.Inc()
+
+	runs := catalog.Coalesce(plan.Entries, 0)
+	bufs := make([][]byte, len(runs))
+	for i, run := range runs {
+		bufs[i] = make([]byte, run.Length)
+		if _, err := f.ReadAt(bufs[i], run.Offset); err != nil {
+			s.m.FilesSkipped++
+			s.mx.filesSkipped.Inc()
+			return
+		}
+		s.m.RestartBytes += run.Length
+		s.mx.restartBytes.Add(run.Length)
+	}
+
+	// Verify every entry before shipping any of them.
+	stored := make([][]byte, len(plan.Entries))
+	ri := 0
+	for i := range plan.Entries {
+		e := &plan.Entries[i]
+		for ri < len(runs) && e.Offset >= runs[ri].Offset+runs[ri].Length {
+			ri++
+		}
+		if ri == len(runs) || e.Offset < runs[ri].Offset || e.Offset+e.Length > runs[ri].Offset+runs[ri].Length {
+			s.m.FilesSkipped++
+			s.mx.filesSkipped.Inc()
+			return
+		}
+		b := bufs[ri][e.Offset-runs[ri].Offset : e.Offset-runs[ri].Offset+e.Length]
+		if e.HasCRC && hdf.Checksum(b) != e.CRC {
+			// Same accounting as the reader path: the snapshot was damaged
+			// after commit; skip the whole file so the restart recovers the
+			// panes elsewhere or falls back a generation.
+			s.mx.checksumFails.Inc()
+			s.m.FilesSkipped++
+			s.mx.filesSkipped.Inc()
+			return
+		}
+		stored[i] = b
+	}
+
+	type paneData struct {
+		owner int
+		sets  []roccom.IOSet
+	}
+	panes := make(map[int]*paneData)
+	var order []int
+	for i := range plan.Entries {
+		e := &plan.Entries[i]
+		logical := int64(e.Type.Size())
+		for _, d := range e.Dims {
+			logical *= d
+		}
+		data := stored[i]
+		if e.Compressed {
+			if data, err = hdf.InflateStored(data, logical); err != nil {
+				s.m.FilesSkipped++
+				s.mx.filesSkipped.Inc()
+				return
+			}
+		} else if int64(len(data)) != logical {
+			s.m.FilesSkipped++
+			s.mx.filesSkipped.Inc()
+			return
+		}
+		pd, ok := panes[e.Pane]
+		if !ok {
+			pd = &paneData{owner: round.wantAll[e.Pane]}
+			panes[e.Pane] = pd
+			order = append(order, e.Pane)
+		}
+		pd.sets = append(pd.sets, roccom.IOSet{Name: e.Name, Type: e.Type, Dims: e.Dims, Attrs: e.Attrs, Data: data})
+	}
+	for _, id := range order {
+		pd := panes[id]
+		s.world.Send(pd.owner, tagReadBlock, roccom.EncodeIOSets(pd.sets))
+		s.m.ReadsServed++
+		s.mx.readsServed.Inc()
 	}
 }
 
@@ -469,6 +650,8 @@ func (s *server) scanFile(name, window string, round *readRound) {
 	}
 	r.Metrics = s.cfg.Metrics
 	defer r.Close()
+	s.m.FilesOpened++
+	s.mx.filesOpened.Inc()
 
 	type paneData struct {
 		owner int
@@ -502,6 +685,8 @@ func (s *server) scanFile(name, window string, round *readRound) {
 			s.mx.filesSkipped.Inc()
 			return
 		}
+		s.m.RestartBytes += int64(len(data))
+		s.mx.restartBytes.Add(int64(len(data)))
 		pd, ok := panes[paneID]
 		if !ok {
 			pd = &paneData{owner: owner}

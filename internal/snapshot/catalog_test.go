@@ -1,0 +1,244 @@
+package snapshot
+
+import (
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"genxio/internal/catalog"
+	"genxio/internal/faults"
+	"genxio/internal/hdf"
+	"genxio/internal/rt"
+)
+
+// writePaneGen writes a generation whose files hold real pane datasets
+// (the path grammar the catalog indexes), panes dealt round-robin across
+// nfiles server-style files.
+func writePaneGen(t *testing.T, fsys rt.FS, base string, nfiles, npanes int) {
+	t.Helper()
+	clock := rt.NewWallClock()
+	for s := 0; s < nfiles; s++ {
+		name := fmt.Sprintf("%s_s%03d.rhdf", base, s)
+		w, err := hdf.Create(fsys, name, clock, hdf.NullProfile())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for p := s; p < npanes; p += nfiles {
+			id := 1000 + p
+			ds := fmt.Sprintf("/fluid/pane%06d/pressure", id)
+			if err := w.CreateDataset(ds, hdf.F64, []int64{4}, nil,
+				hdf.F64Bytes([]float64{float64(id), 1, 2, 3})); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCommitWritesCatalogBeforeManifest(t *testing.T) {
+	fsys := rt.NewMemFS()
+	writePaneGen(t, fsys, "out/snap000010", 2, 5)
+	m, err := Commit(fsys, "out/snap000010", 10, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Catalog == nil {
+		t.Fatal("manifest carries no catalog reference")
+	}
+	if m.Catalog.Name != "out/snap000010"+catalog.Suffix {
+		t.Fatalf("catalog name %q", m.Catalog.Name)
+	}
+	cat, err := catalog.Load(fsys, "out/snap000010")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cat.Files) != 2 || len(cat.Entries) != 5 {
+		t.Fatalf("catalog has %d files, %d entries; want 2, 5", len(cat.Files), len(cat.Entries))
+	}
+	if got := cat.Panes("fluid"); !reflect.DeepEqual(got, []int{1000, 1001, 1002, 1003, 1004}) {
+		t.Fatalf("pane universe %v", got)
+	}
+	// The manifest's size and CRC pin the blob on disk.
+	f, _ := fsys.Open(m.Catalog.Name)
+	size, _ := f.Size()
+	blob := make([]byte, size)
+	f.ReadAt(blob, 0)
+	f.Close()
+	if size != m.Catalog.Size || hdf.Checksum(blob) != m.Catalog.CRC {
+		t.Fatalf("catalog ref size %d crc %08x, blob is %d bytes crc %08x",
+			m.Catalog.Size, m.Catalog.CRC, size, hdf.Checksum(blob))
+	}
+	// The reloaded manifest round-trips the reference.
+	got, err := Load(fsys, "out/snap000010")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Catalog, m.Catalog) {
+		t.Fatalf("reloaded catalog ref %+v, want %+v", got.Catalog, m.Catalog)
+	}
+}
+
+func TestVerifyIgnoresCatalogDamage(t *testing.T) {
+	fsys := rt.NewMemFS()
+	writePaneGen(t, fsys, "out/snap000010", 1, 2)
+	m, err := Commit(fsys, "out/snap000010", 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := faults.FlipBit(fsys, m.Catalog.Name, 12*8+3); err != nil {
+		t.Fatal(err)
+	}
+	// A damaged catalog must not fail manifest verification — restart
+	// degrades to the scan path instead of abandoning the generation.
+	if err := m.Verify(fsys); err != nil {
+		t.Fatalf("Verify failed on catalog damage: %v", err)
+	}
+	if _, err := catalog.Load(fsys, "out/snap000010"); err == nil {
+		t.Fatal("damaged catalog loaded cleanly")
+	}
+}
+
+func TestPruneRemovesCatalog(t *testing.T) {
+	fsys := rt.NewMemFS()
+	for i, b := range []string{"out/snap000000", "out/snap000100"} {
+		writePaneGen(t, fsys, b, 1, 2)
+		if _, err := Commit(fsys, b, int64(i*100), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := Prune(fsys, "out/", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fsys.Open("out/snap000000" + catalog.Suffix); err == nil {
+		t.Fatal("pruned generation's catalog survived")
+	}
+	if names, _ := fsys.List("out/snap000000"); len(names) != 0 {
+		t.Fatalf("pruned generation left artifacts: %v", names)
+	}
+	if _, err := catalog.Load(fsys, "out/snap000100"); err != nil {
+		t.Fatalf("surviving generation's catalog gone: %v", err)
+	}
+}
+
+func TestPaneUniverse(t *testing.T) {
+	fsys := rt.NewMemFS()
+	writePaneGen(t, fsys, "out/snap000010", 2, 4)
+	if _, err := Commit(fsys, "out/snap000010", 10, 0); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1000, 1001, 1002, 1003}
+	got, err := PaneUniverse(fsys, "out/snap000010", "fluid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("catalog universe %v, want %v", got, want)
+	}
+	// Without the catalog (older writer), the manifest walk answers.
+	if err := fsys.Remove("out/snap000010" + catalog.Suffix); err != nil {
+		t.Fatal(err)
+	}
+	got, err = PaneUniverse(fsys, "out/snap000010", "fluid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("scan universe %v, want %v", got, want)
+	}
+	if _, err := PaneUniverse(fsys, "out/snap000010", "solid"); err == nil {
+		t.Fatal("empty window produced a universe")
+	}
+}
+
+func TestFsckCatalogMismatch(t *testing.T) {
+	fsys := rt.NewMemFS()
+	writePaneGen(t, fsys, "out/snap000010", 2, 4)
+	if _, err := Commit(fsys, "out/snap000010", 10, 0); err != nil {
+		t.Fatal(err)
+	}
+	reports, err := Fsck(fsys, "out/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 1 || reports[0].Verdict != VerdictOK || reports[0].Catalog != "ok" {
+		t.Fatalf("clean scrub: %+v", reports)
+	}
+
+	// Bit-flip the catalog body: data files are fine, so the verdict is
+	// CATALOG-MISMATCH, not CORRUPT — and the scrub is no longer clean.
+	if err := faults.FlipBit(fsys, "out/snap000010"+catalog.Suffix, 12*8+3); err != nil {
+		t.Fatal(err)
+	}
+	reports, err = Fsck(fsys, "out/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := reports[0]
+	if rep.Verdict != VerdictCatalogMismatch || rep.Catalog != "mismatch" {
+		t.Fatalf("tampered catalog: verdict %q, catalog %q", rep.Verdict, rep.Catalog)
+	}
+	if Clean(reports) {
+		t.Fatal("Clean() true with a catalog mismatch")
+	}
+	if out := Format(reports); !strings.Contains(out, VerdictCatalogMismatch) {
+		t.Fatalf("Format output lacks the verdict:\n%s", out)
+	}
+
+	// A flipped payload bit on top of that dominates: CORRUPT wins.
+	if err := faults.FlipBit(fsys, "out/snap000010_s000.rhdf", hdf.HeaderSize()*8+1); err != nil {
+		t.Fatal(err)
+	}
+	reports, _ = Fsck(fsys, "out/")
+	if reports[0].Verdict != VerdictCorrupt {
+		t.Fatalf("corrupt+mismatch verdict %q, want %q", reports[0].Verdict, VerdictCorrupt)
+	}
+
+	// Generations committed by older writers report catalog "none" and
+	// stay OK.
+	writePaneGen(t, fsys, "out/snap000200", 1, 2)
+	if _, err := Commit(fsys, "out/snap000200", 200, 0); err != nil {
+		t.Fatal(err)
+	}
+	fsys.Remove("out/snap000200" + catalog.Suffix)
+	stripCatalogRef(t, fsys, "out/snap000200")
+	reports, _ = Fsck(fsys, "out/")
+	for _, rep := range reports {
+		if rep.Base == "out/snap000200" {
+			if rep.Verdict != VerdictOK || rep.Catalog != "none" {
+				t.Fatalf("catalog-less generation: verdict %q, catalog %q", rep.Verdict, rep.Catalog)
+			}
+		}
+	}
+}
+
+// stripCatalogRef rewrites a manifest without its catalog reference,
+// simulating a generation committed before the catalog existed.
+func stripCatalogRef(t *testing.T, fsys rt.FS, base string) {
+	t.Helper()
+	m, err := Load(fsys, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Catalog = nil
+	enc, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.Remove(base + Suffix); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fsys.Create(base + Suffix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt(enc, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

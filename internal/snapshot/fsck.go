@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"strings"
 
+	"genxio/internal/catalog"
 	"genxio/internal/hdf"
+	"genxio/internal/roccom"
 	"genxio/internal/rt"
 )
 
@@ -14,6 +16,11 @@ const (
 	VerdictOK          = "OK"
 	VerdictUncommitted = "UNCOMMITTED"
 	VerdictCorrupt     = "CORRUPT"
+	// VerdictCatalogMismatch marks a generation whose data files all scrub
+	// clean but whose block catalog disagrees with them — a stale, damaged,
+	// or incomplete index. Restart still works (the scan fallback ignores
+	// the catalog) but indexed reads would not, so the scrub fails.
+	VerdictCatalogMismatch = "CATALOG-MISMATCH"
 )
 
 // FileReport is one file's scrub outcome.
@@ -23,11 +30,14 @@ type FileReport struct {
 	Detail string `json:"detail,omitempty"`
 }
 
-// GenReport is one generation's scrub outcome.
+// GenReport is one generation's scrub outcome. Catalog reports the block
+// catalog's state: "none" (older writer, no catalog committed), "ok", or
+// "mismatch".
 type GenReport struct {
 	Base    string       `json:"base"`
 	Verdict string       `json:"verdict"`
 	Epoch   int64        `json:"epoch,omitempty"`
+	Catalog string       `json:"catalog,omitempty"`
 	Files   []FileReport `json:"files"`
 }
 
@@ -72,6 +82,20 @@ func fsckGen(fsys rt.FS, g Generation) GenReport {
 					rep.Verdict = VerdictCorrupt
 				}
 				rep.Files = append(rep.Files, fr)
+			}
+			rep.Catalog = "none"
+			if m.Catalog != nil {
+				status, detail := scrubCatalog(fsys, m)
+				rep.Catalog = status
+				if status != "ok" {
+					// Damaged data files already make the generation
+					// CORRUPT; only a clean generation with a lying index
+					// downgrades to CATALOG-MISMATCH.
+					if rep.Verdict == VerdictOK {
+						rep.Verdict = VerdictCatalogMismatch
+					}
+					rep.Files = append(rep.Files, FileReport{Name: m.Catalog.Name, Status: "mismatch", Detail: detail})
+				}
 			}
 		}
 	}
@@ -120,6 +144,88 @@ func scrubFile(fsys rt.FS, e FileEntry) FileReport {
 	return FileReport{Name: e.Name, Status: "ok"}
 }
 
+// scrubCatalog cross-checks a committed generation's block catalog against
+// its manifest and data files: the blob must match the manifest's size and
+// CRC reference and decode cleanly, every entry must resolve to a real
+// dataset at the recorded extent with the recorded checksum, and every
+// pane dataset in the manifested files must appear in the catalog — an
+// index that would send an indexed restart to the wrong bytes, or silently
+// drop panes, is a mismatch.
+func scrubCatalog(fsys rt.FS, m *Manifest) (status, detail string) {
+	f, err := fsys.Open(m.Catalog.Name)
+	if err != nil {
+		return "mismatch", err.Error()
+	}
+	size, err := f.Size()
+	if err != nil {
+		f.Close()
+		return "mismatch", err.Error()
+	}
+	blob := make([]byte, size)
+	_, err = f.ReadAt(blob, 0)
+	f.Close()
+	if err != nil {
+		return "mismatch", err.Error()
+	}
+	if size != m.Catalog.Size {
+		return "mismatch", fmt.Sprintf("%d bytes on disk, manifest says %d", size, m.Catalog.Size)
+	}
+	if crc := hdf.Checksum(blob); crc != m.Catalog.CRC {
+		return "mismatch", fmt.Sprintf("blob crc32c %08x, manifest says %08x", crc, m.Catalog.CRC)
+	}
+	cat, err := catalog.Decode(blob)
+	if err != nil {
+		return "mismatch", err.Error()
+	}
+
+	inManifest := make(map[string]bool, len(m.Files))
+	onDisk := make(map[string]map[string]*hdf.Dataset, len(m.Files))
+	paneSets := 0
+	for _, e := range m.Files {
+		inManifest[e.Name] = true
+		sets, err := hdf.DirEntries(fsys, e.Name)
+		if err != nil {
+			continue // scrubFile already reported the file itself
+		}
+		byName := make(map[string]*hdf.Dataset, len(sets))
+		for _, d := range sets {
+			byName[d.Name] = d
+			if _, _, _, ok := roccom.ParseDatasetName(d.Name); ok {
+				paneSets++
+			}
+		}
+		onDisk[e.Name] = byName
+	}
+	for i := range cat.Entries {
+		e := &cat.Entries[i]
+		name := cat.Files[e.File]
+		if !inManifest[name] {
+			return "mismatch", fmt.Sprintf("catalog references unmanifested file %s", name)
+		}
+		byName, ok := onDisk[name]
+		if !ok {
+			continue
+		}
+		d, ok := byName[e.Name]
+		if !ok {
+			return "mismatch", fmt.Sprintf("catalog entry %q not in %s", e.Name, name)
+		}
+		off, length := d.Extent()
+		if off != e.Offset || length != e.Length {
+			return "mismatch", fmt.Sprintf("catalog entry %q extent [%d,+%d), file says [%d,+%d)",
+				e.Name, e.Offset, e.Length, off, length)
+		}
+		crc, hasCRC := d.CRC()
+		if hasCRC != e.HasCRC || (hasCRC && crc != e.CRC) {
+			return "mismatch", fmt.Sprintf("catalog entry %q crc32c %08x, file says %08x", e.Name, e.CRC, crc)
+		}
+	}
+	if len(cat.Entries) < paneSets {
+		return "mismatch", fmt.Sprintf("catalog indexes %d pane datasets, files hold %d", len(cat.Entries), paneSets)
+	}
+	return "ok", ""
+}
+
 // Format renders scrub reports as the per-generation verdict listing
 // cmd/genxfsck prints.
 func Format(reports []GenReport) string {
@@ -137,10 +243,11 @@ func Format(reports []GenReport) string {
 	return b.String()
 }
 
-// Clean reports whether no generation was found corrupt.
+// Clean reports whether no generation was found corrupt or carrying a
+// mismatched catalog.
 func Clean(reports []GenReport) bool {
 	for _, rep := range reports {
-		if rep.Verdict == VerdictCorrupt {
+		if rep.Verdict == VerdictCorrupt || rep.Verdict == VerdictCatalogMismatch {
 			return false
 		}
 	}

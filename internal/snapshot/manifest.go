@@ -18,6 +18,7 @@ import (
 	"io"
 	"strings"
 
+	"genxio/internal/catalog"
 	"genxio/internal/hdf"
 	"genxio/internal/rt"
 )
@@ -29,6 +30,17 @@ const ManifestSchema = "genxio-manifest/v1"
 // Suffix is appended to a generation's base name to form its manifest
 // file name.
 const Suffix = ".manifest"
+
+// CatalogRef pins a generation's block-catalog blob from the manifest:
+// the catalog is written before the manifest, so the commit record can
+// carry its size and whole-blob CRC32C, letting readers detect a damaged
+// or swapped catalog cheaply. Absent on generations committed by older
+// writers; restart then uses the scan path.
+type CatalogRef struct {
+	Name string `json:"name"`
+	Size int64  `json:"size"`
+	CRC  uint32 `json:"crc32c"`
+}
 
 // FileEntry records one snapshot file at commit time.
 type FileEntry struct {
@@ -54,6 +66,10 @@ type Manifest struct {
 	Time float64 `json:"time"`
 	// Files lists every committed file, in lexical order.
 	Files []FileEntry `json:"files"`
+	// Catalog references the generation's block-catalog blob, when one was
+	// committed. Verify deliberately ignores it: a damaged catalog costs
+	// the indexed read path, not the generation.
+	Catalog *CatalogRef `json:"catalog,omitempty"`
 }
 
 // Commit writes the commit record for the generation under base: it
@@ -68,19 +84,30 @@ func Commit(fsys rt.FS, base string, epoch int64, tm float64) (*Manifest, error)
 		return nil, fmt.Errorf("snapshot: commit %s: %w", base, err)
 	}
 	m := &Manifest{Schema: ManifestSchema, Base: base, Epoch: epoch, Time: tm}
+	cat := &catalog.Catalog{}
 	for _, name := range names {
 		if !strings.HasSuffix(name, ".rhdf") {
 			continue // staged *.tmp residue is not part of the generation
 		}
-		size, crc, nsets, err := hdf.DirInfo(fsys, name)
+		size, crc, sets, err := hdf.ScanDir(fsys, name)
 		if err != nil {
 			return nil, fmt.Errorf("snapshot: commit %s: %w", base, err)
 		}
-		m.Files = append(m.Files, FileEntry{Name: name, Size: size, DirCRC: crc, Datasets: nsets})
+		m.Files = append(m.Files, FileEntry{Name: name, Size: size, DirCRC: crc, Datasets: len(sets)})
+		cat.AddFile(name, sets)
 	}
 	if len(m.Files) == 0 {
 		return nil, fmt.Errorf("snapshot: commit %s: no snapshot files", base)
 	}
+	// The catalog goes to disk before the manifest: the manifest is the
+	// commit record, so a crash between the two leaves an uncommitted
+	// generation with a harmless orphan catalog, never a committed
+	// generation pointing at a catalog that does not exist.
+	catSize, catCRC, err := catalog.Write(fsys, base, cat)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: commit %s: %w", base, err)
+	}
+	m.Catalog = &CatalogRef{Name: base + catalog.Suffix, Size: catSize, CRC: catCRC}
 	enc, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return nil, err

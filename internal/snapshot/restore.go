@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 
+	"genxio/internal/catalog"
 	"genxio/internal/hdf"
 	"genxio/internal/metrics"
 	"genxio/internal/mpi"
@@ -24,12 +25,15 @@ type Generation struct {
 }
 
 // baseOf derives the generation base from a snapshot artifact name:
-// base.manifest, base_s000.rhdf, base_p00000.rhdf, or any of those with a
-// staged .tmp suffix. It returns "" for names that are not snapshot
-// artifacts.
+// base.manifest, base.catalog, base_s000.rhdf, base_p00000.rhdf, or any of
+// those with a staged .tmp suffix. It returns "" for names that are not
+// snapshot artifacts.
 func baseOf(name string) string {
 	name = strings.TrimSuffix(name, hdf.TmpSuffix)
 	if b, ok := strings.CutSuffix(name, Suffix); ok {
+		return b
+	}
+	if b, ok := strings.CutSuffix(name, catalog.Suffix); ok {
 		return b
 	}
 	name, ok := strings.CutSuffix(name, ".rhdf")
@@ -188,6 +192,15 @@ func Prune(fsys rt.FS, prefix string, retain int) ([]string, error) {
 			if err := fsys.Remove(g.Base + Suffix); err != nil {
 				return removed, err
 			}
+		}
+		// The catalog blob goes right after the manifest so a pruned
+		// generation leaves no orphaned index behind; older generations
+		// (and crash windows before catalog.Write) have none.
+		if err := fsys.Remove(g.Base + catalog.Suffix); err != nil && !errors.Is(err, rt.ErrNotExist) {
+			return removed, err
+		}
+		if err := fsys.Remove(g.Base + catalog.Suffix + hdf.TmpSuffix); err != nil && !errors.Is(err, rt.ErrNotExist) {
+			return removed, err
 		}
 		names, err := fsys.List(g.Base + "_")
 		if err != nil {

@@ -1,0 +1,50 @@
+package snapshot
+
+import (
+	"fmt"
+	"sort"
+
+	"genxio/internal/catalog"
+	"genxio/internal/hdf"
+	"genxio/internal/roccom"
+	"genxio/internal/rt"
+)
+
+// PaneUniverse returns the sorted set of pane IDs a committed generation
+// holds for a window — the input to the M×N repartitioner, which lets a
+// restart run use a different rank count than the writing run. The catalog
+// answers without touching data files; generations without a usable
+// catalog fall back to walking the manifested files' directories.
+func PaneUniverse(fsys rt.FS, base, window string) ([]int, error) {
+	if cat, err := catalog.Load(fsys, base); err == nil {
+		if ids := cat.Panes(window); len(ids) > 0 {
+			return ids, nil
+		}
+	}
+	m, err := Load(fsys, base)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: pane universe of %s: %w", base, err)
+	}
+	seen := make(map[int]bool)
+	for _, e := range m.Files {
+		sets, err := hdf.DirEntries(fsys, e.Name)
+		if err != nil {
+			return nil, fmt.Errorf("snapshot: pane universe of %s: %w", base, err)
+		}
+		for _, d := range sets {
+			w, pane, _, ok := roccom.ParseDatasetName(d.Name)
+			if ok && w == window {
+				seen[pane] = true
+			}
+		}
+	}
+	if len(seen) == 0 {
+		return nil, fmt.Errorf("snapshot: generation %s has no panes in window %q", base, window)
+	}
+	ids := make([]int, 0, len(seen))
+	for id := range seen {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids, nil
+}
