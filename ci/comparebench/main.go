@@ -1,0 +1,100 @@
+// Command comparebench is the CI bench-regression gate: it diffs a fresh
+// genxbench JSON against the committed baseline and fails (exit 1) when a
+// module's visible_write_seconds grows, or its throughput_mbps shrinks, by
+// more than the tolerance. The simulated platform is deterministic in its
+// seed, so drift beyond the tolerance is a code change, not noise — the
+// tolerance only absorbs intentional small cost-model adjustments.
+//
+//	go run ./ci/comparebench -baseline BENCH_genxbench.json -fresh BENCH_fresh.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// benchFile is the subset of the genxbench JSON the gate reads; unknown
+// fields (metrics snapshots, options) are ignored so the gate survives
+// additive schema changes.
+type benchFile struct {
+	Schema string `json:"schema"`
+	IOs    []struct {
+		IO             string  `json:"io"`
+		VisibleWrite   float64 `json:"visible_write_seconds"`
+		SyncWait       float64 `json:"sync_wait_seconds"`
+		ThroughputMBps float64 `json:"throughput_mbps"`
+	} `json:"ios"`
+}
+
+func load(path string) (*benchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f benchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(f.IOs) == 0 {
+		return nil, fmt.Errorf("%s: no ios entries", path)
+	}
+	return &f, nil
+}
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_genxbench.json", "committed baseline JSON")
+	fresh := flag.String("fresh", "BENCH_fresh.json", "freshly generated JSON")
+	tol := flag.Float64("tolerance", 0.10, "allowed relative regression per metric")
+	flag.Parse()
+
+	base, err := load(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "comparebench:", err)
+		os.Exit(2)
+	}
+	cur, err := load(*fresh)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "comparebench:", err)
+		os.Exit(2)
+	}
+	if base.Schema != cur.Schema {
+		fmt.Fprintf(os.Stderr, "comparebench: schema changed %q -> %q; refresh the committed baseline in the same PR\n",
+			base.Schema, cur.Schema)
+		os.Exit(1)
+	}
+
+	curByIO := make(map[string]int, len(cur.IOs))
+	for i, io := range cur.IOs {
+		curByIO[io.IO] = i
+	}
+	bad := false
+	fmt.Printf("%-16s %22s %22s\n", "module", "visible_write_seconds", "throughput_mbps")
+	for _, b := range base.IOs {
+		i, ok := curByIO[b.IO]
+		if !ok {
+			fmt.Printf("%-16s MISSING from fresh bench\n", b.IO)
+			bad = true
+			continue
+		}
+		c := cur.IOs[i]
+		vwBad := b.VisibleWrite > 0 && c.VisibleWrite > b.VisibleWrite*(1+*tol)
+		tpBad := b.ThroughputMBps > 0 && c.ThroughputMBps < b.ThroughputMBps*(1-*tol)
+		mark := func(regressed bool) string {
+			if regressed {
+				return " REGRESSED"
+			}
+			return ""
+		}
+		fmt.Printf("%-16s %10.4f -> %8.4f%s %9.1f -> %8.1f%s\n",
+			b.IO, b.VisibleWrite, c.VisibleWrite, mark(vwBad),
+			b.ThroughputMBps, c.ThroughputMBps, mark(tpBad))
+		bad = bad || vwBad || tpBad
+	}
+	if bad {
+		fmt.Fprintf(os.Stderr, "comparebench: performance regressed beyond %.0f%% of the committed baseline\n", *tol*100)
+		os.Exit(1)
+	}
+	fmt.Println("comparebench: within tolerance of the committed baseline")
+}

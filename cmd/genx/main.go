@@ -25,6 +25,7 @@ func main() {
 	n := flag.Int("n", 8, "total number of ranks (incl. Rocpanda servers)")
 	io := flag.String("io", "rocpanda", "I/O module: rocpanda | rochdf | trochdf")
 	servers := flag.Int("servers", 1, "Rocpanda I/O server count")
+	async := flag.Bool("async", false, "Rocpanda: drain buffers on background writer tasks (overlap writeback with computation)")
 	steps := flag.Int("steps", 20, "timesteps")
 	snapEvery := flag.Int("snap-every", 10, "snapshot interval in steps")
 	scale := flag.Float64("scale", 0.05, "lab-scale mesh scale in (0,1]")
@@ -69,6 +70,8 @@ func main() {
 		Rocpanda: genxio.RocpandaConfig{
 			NumServers:      *servers,
 			ActiveBuffering: true,
+			AsyncDrain:      *async,
+			DrainWriters:    2,
 		},
 	}
 	switch *burn {

@@ -13,9 +13,13 @@
 //	genxbench -exp all
 //
 // The bench experiment runs one small instrumented run per I/O module
-// and, with -json, emits the machine-readable BENCH_genxbench.json
-// (metrics snapshots, per-phase visible-I/O and drain costs); -trace
-// additionally exports each module's phase trace.
+// (Rocpanda twice: synchronous drain and the AsyncDrain background
+// writer pool) and, with -json, emits the machine-readable
+// BENCH_genxbench.json (metrics snapshots, per-phase visible-I/O and
+// drain costs); -trace additionally exports each module's phase trace.
+// The committed BENCH_genxbench.json is the CI perf baseline: refresh it
+// with this command in any PR that intentionally changes bench numbers
+// (ci/comparebench gates regressions against it).
 package main
 
 import (

@@ -37,8 +37,48 @@ func TestBenchJSONDeterministicAndParseable(t *testing.T) {
 	if err := json.Unmarshal(ba.Bytes(), &round); err != nil {
 		t.Fatalf("bench JSON does not parse: %v", err)
 	}
-	if round.Schema != BenchSchema || len(round.IOs) != 3 {
+	if round.Schema != BenchSchema || len(round.IOs) != 4 {
 		t.Fatalf("roundtrip schema=%q ios=%d", round.Schema, len(round.IOs))
+	}
+}
+
+// TestBenchAsyncDrainOverlapsWriteback is the tentpole's acceptance
+// criterion: on the same workload, seed and platform, the async-drain
+// rocpanda run must show lower application-visible write+sync cost than
+// the synchronous-drain run — the writeback moved into the background —
+// with the overlap visible in the drain metrics.
+func TestBenchAsyncDrainOverlapsWriteback(t *testing.T) {
+	res, err := RunBench(BenchOpts{Scale: 0.05, Procs: 8, Seed: 3, Stride: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byIO := map[string]IOBenchResult{}
+	for _, io := range res.IOs {
+		byIO[io.IO] = io
+	}
+	syn, ok := byIO["rocpanda"]
+	if !ok {
+		t.Fatal("rocpanda entry missing")
+	}
+	asy, ok := byIO["rocpanda-async"]
+	if !ok {
+		t.Fatal("rocpanda-async entry missing")
+	}
+	sv, av := syn.VisibleWrite+syn.SyncWait, asy.VisibleWrite+asy.SyncWait
+	if av >= sv {
+		t.Fatalf("async visible write+sync %.4fs not below sync drain's %.4fs", av, sv)
+	}
+	ov := asy.Metrics.Histograms["rocpanda.drain.overlap_seconds"]
+	if ov.Count == 0 || ov.Sum <= 0 {
+		t.Fatalf("no overlapped drain recorded: %+v", ov)
+	}
+	if asy.Metrics.Gauges["rocpanda.drain.queue_depth"] <= 0 {
+		t.Fatal("drain queue never held a block")
+	}
+	// Same workload, same data: the async run ships exactly the bytes the
+	// sync run does.
+	if asy.BytesOut != syn.BytesOut {
+		t.Fatalf("bytes out differ: async %d, sync %d", asy.BytesOut, syn.BytesOut)
 	}
 }
 

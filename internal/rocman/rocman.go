@@ -153,6 +153,10 @@ func Run(ctx mpi.Ctx, cfg Config) (*Report, error) {
 	cfg.Metrics.Counter("rocpanda.restart.catalog_fallbacks")
 	cfg.Metrics.Counter("rocpanda.restart.files_opened")
 	cfg.Metrics.Counter("rocpanda.restart.bytes_read")
+	cfg.Metrics.Gauge("rocpanda.drain.queue_depth")
+	cfg.Metrics.Counter("rocpanda.drain.backpressure_waits")
+	cfg.Metrics.Histogram("rocpanda.drain.overlap_seconds", nil)
+	cfg.Metrics.Counter("rocpanda.drain.errors")
 
 	// I/O module selection: Rocpanda splits the world; the Rochdf
 	// variants use the world communicator directly.
@@ -184,6 +188,9 @@ func Run(ctx mpi.Ctx, cfg Config) (*Report, error) {
 		}
 		if pcfg.RetainGenerations == 0 {
 			pcfg.RetainGenerations = cfg.RetainGenerations
+		}
+		if pcfg.Trace == nil {
+			pcfg.Trace = cfg.Trace
 		}
 		cl, err := rocpanda.Init(ctx, pcfg)
 		if err != nil {

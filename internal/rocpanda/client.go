@@ -19,6 +19,12 @@ import (
 // previous (complete) snapshot.
 var ErrIncompleteRestart = errors.New("rocpanda: snapshot incomplete")
 
+// errDrainFailed reports that a server could not land all of its buffered
+// output (a block write or file close failed). Sync and Shutdown surface
+// it on every client — the commit allreduce spreads one server's failure
+// to all — and the affected generations get no manifest.
+var errDrainFailed = errors.New("rocpanda: server drain failed")
+
 // Metrics accumulates a client's application-visible I/O costs.
 type Metrics struct {
 	VisibleWrite float64 // time inside write_attribute (send + buffer ack)
@@ -356,11 +362,21 @@ func (c *Client) Sync() error {
 		// of through its own timeout.
 		c.shareDeaths()
 	}
+	drainFailed := false
 	err := c.withFailover("sync", func(target int) bool {
 		c.world.Send(target, tagSync, nil)
-		_, _, ok := c.recvTimeout(target, tagSyncAck)
+		data, _, ok := c.recvTimeout(target, tagSyncAck)
+		if ok {
+			drainFailed = len(data) == 1 && data[0] == ackDrainFailed
+		}
 		return ok
 	})
+	if err == nil && drainFailed {
+		// The server answered, but some of its output never landed (a
+		// failed block write or file close): the generation is incomplete
+		// and must not commit.
+		err = errDrainFailed
+	}
 	// Agree on the outcome before committing: the allreduce doubles as
 	// the barrier that guarantees every server has drained (each client
 	// enters only after its own server's sync ack), and if any client's
@@ -370,6 +386,12 @@ func (c *Client) Sync() error {
 		bad = 1
 	}
 	if c.comm.AllreduceMax(bad) > 0 {
+		if err == nil {
+			// A peer's server failed its drain; this client's was fine, but
+			// the snapshot as a whole is incomplete, so every client must
+			// report the refused commit.
+			err = fmt.Errorf("rocpanda: sync: %w on a peer's server", errDrainFailed)
+		}
 		return err
 	}
 	return c.commitPending()
@@ -466,19 +488,40 @@ func (c *Client) Shutdown() error {
 	for _, t := range c.contacted {
 		c.world.Send(t, tagShutdown, nil)
 	}
+	drainFailed := false
 	for _, t := range c.contacted {
 		if c.deadRank(t) {
 			continue
 		}
-		if _, _, ok := c.recvTimeout(t, tagShutdownAck); !ok {
+		data, _, ok := c.recvTimeout(t, tagShutdownAck)
+		if !ok {
 			c.markDeadRank(t) // died during shutdown; nothing left to do
+			continue
+		}
+		if len(data) == 1 && data[0] == ackDrainFailed {
+			drainFailed = true
 		}
 	}
 	// Generations written but never synced drain as the servers shut
 	// down; commit them now so the last snapshot of a run is restorable.
-	// The barrier guarantees every client's servers have acked (drained)
-	// before client 0 summarizes the files.
-	c.comm.Barrier()
+	// The allreduce is the barrier that guarantees every client's servers
+	// have acked (drained) before client 0 summarizes the files, and it
+	// spreads any server's drain failure to every client so nobody writes
+	// a manifest over missing data. (A server that merely timed out keeps
+	// the old behavior: the commit proceeds on what survives, and restart
+	// falls back a generation if the snapshot proves incomplete.)
+	bad := 0.0
+	if drainFailed {
+		bad = 1
+	}
+	if c.comm.AllreduceMax(bad) > 0 {
+		c.pending = nil
+		c.pendingSet = make(map[string]bool)
+		if drainFailed {
+			return fmt.Errorf("rocpanda: shutdown: %w", errDrainFailed)
+		}
+		return fmt.Errorf("rocpanda: shutdown: %w on a peer's server", errDrainFailed)
+	}
 	return c.commitPending()
 }
 

@@ -25,6 +25,12 @@ const (
 	tagAdopt
 )
 
+// tagSyncAck and tagShutdownAck payload: empty on success, or one status
+// byte reporting that the server failed to land some of its output (a
+// block write or file close error). Clients fold the byte into the commit
+// allreduce so no generation with missing data ever gets a manifest.
+const ackDrainFailed = 1
+
 // tagReadDone payload: one mode byte reporting how the server served its
 // share of the restart, so clients (and their metrics) can tell indexed
 // reads from scan fallbacks. Older-style empty payloads decode as scan.

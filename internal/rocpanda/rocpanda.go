@@ -35,6 +35,7 @@ import (
 	"genxio/internal/hdf"
 	"genxio/internal/metrics"
 	"genxio/internal/mpi"
+	"genxio/internal/trace"
 )
 
 // Placement controls where the dedicated servers sit in the global rank
@@ -70,7 +71,25 @@ type Config struct {
 	ActiveBuffering bool
 	// BufferCapacity bounds the server-side buffer in bytes; 0 means
 	// unlimited. Overflow triggers synchronous partial drains.
+	// Synchronous mode only; with AsyncDrain use BufferBudgetBytes.
 	BufferCapacity int64
+	// AsyncDrain moves the drain off the server's request loop onto a
+	// background writer pool (internal/rocpanda/drain.go): blocks go to
+	// disk while the loop keeps absorbing client writes, which is the
+	// paper's overlap realized inside one server process. Requires
+	// ActiveBuffering; output files are byte-identical to the synchronous
+	// drain.
+	AsyncDrain bool
+	// DrainWriters sizes the background writer pool (AsyncDrain only).
+	// Blocks route to writers by destination file, so extra writers help
+	// only when snapshot generations overlap. Clamped to [1, 8]; default 1.
+	DrainWriters int
+	// BufferBudgetBytes bounds the bytes queued to the writer pool
+	// (AsyncDrain only). An enqueue that overruns the budget stalls the
+	// request loop — delaying that client's ack — until the writers catch
+	// up; 0 means unbounded. A budget of one block degenerates to
+	// write-through timing.
+	BufferBudgetBytes int64
 	// MemcpyBW is the server's buffer-copy bandwidth (bytes/s) charged
 	// per buffered block on simulated platforms; <= 0 charges nothing.
 	MemcpyBW float64
@@ -96,6 +115,10 @@ type Config struct {
 	// counters, gauges and latency histograms from every rank sharing the
 	// registry. A nil registry disables all recording at no cost.
 	Metrics *metrics.Registry
+	// Trace, if set, receives background-drain phase spans from the writer
+	// pool (servers record on timeline rows after the client ranks). A nil
+	// recorder disables recording at no cost.
+	Trace *trace.Recorder
 
 	// Fault tolerance (internal/faults).
 

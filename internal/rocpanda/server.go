@@ -12,6 +12,7 @@ import (
 	"genxio/internal/metrics"
 	"genxio/internal/mpi"
 	"genxio/internal/roccom"
+	"genxio/internal/rt"
 )
 
 // ServerMetrics accumulates one server's activity.
@@ -31,6 +32,12 @@ type ServerMetrics struct {
 	CatalogHits      int   // restart rounds served from the block catalog
 	CatalogFallbacks int   // restart rounds that fell back to the directory scan
 	Crashed          bool  // the server died to an injected crash
+
+	// Background-drain engine (Config.AsyncDrain).
+	DrainQueuePeak    int     // peak blocks queued to the writer pool
+	BackpressureWaits int     // enqueues stalled on BufferBudgetBytes
+	OverlapSeconds    float64 // background write time overlapped with service
+	DrainErrors       int     // block writes or file closes that failed
 }
 
 // serverCrashed is the panic sentinel of an injected server crash; run
@@ -69,10 +76,11 @@ type server struct {
 	allClients []int
 	cfg        Config
 
-	buf           []pendingBlock
+	buf           []pendingBlock // synchronous-mode buffer (AsyncDrain off)
 	bufBytes      int64
-	writers       map[string]*hdf.Writer
-	metaDone      map[string]bool
+	sink          *blockSink            // the request loop's own file sink
+	engine        *drainEngine          // background writer pool (AsyncDrain)
+	drainErr      error                 // sticky first drain failure
 	reads         map[string]*readRound // key: file|window|attr
 	shutdown      int
 	shutdownQueue []int // clients awaiting the shutdown ack
@@ -97,6 +105,12 @@ type srvMx struct {
 	drainSeconds   *metrics.Histogram
 	scanSeconds    *metrics.Histogram
 
+	// Background-drain engine (Config.AsyncDrain).
+	queueDepth     *metrics.Gauge
+	backpressure   *metrics.Counter
+	overlapSeconds *metrics.Histogram
+	drainErrors    *metrics.Counter
+
 	// Restart I/O-efficiency counters (catalog vs scan).
 	filesOpened      *metrics.Counter
 	restartBytes     *metrics.Counter
@@ -119,6 +133,11 @@ func newSrvMx(r *metrics.Registry) srvMx {
 		drainSeconds:   r.Histogram("rocpanda.server.drain_seconds", nil),
 		scanSeconds:    r.Histogram("rocpanda.server.restart_scan_seconds", nil),
 
+		queueDepth:     r.Gauge("rocpanda.drain.queue_depth"),
+		backpressure:   r.Counter("rocpanda.drain.backpressure_waits"),
+		overlapSeconds: r.Histogram("rocpanda.drain.overlap_seconds", nil),
+		drainErrors:    r.Counter("rocpanda.drain.errors"),
+
 		filesOpened:      r.Counter("rocpanda.restart.files_opened"),
 		restartBytes:     r.Counter("rocpanda.restart.bytes_read"),
 		catalogHits:      r.Counter("rocpanda.restart.catalog_hits"),
@@ -137,17 +156,29 @@ func (s *server) run() {
 	// acks, snapshot files left without directories — is how this backend
 	// models the process dying.
 	defer func() {
-		if r := recover(); r != nil {
+		r := recover()
+		// Tear the writer pool down on every exit path: it merges the
+		// writers' tallies into s.m before OnServerDone reads them, and
+		// terminates the pool's simulation processes.
+		if s.engine != nil {
+			s.engine.close()
+		}
+		if r != nil {
 			if _, died := r.(serverCrashed); !died {
 				panic(r)
 			}
 		}
 	}()
-	s.writers = make(map[string]*hdf.Writer)
-	s.metaDone = make(map[string]bool)
+	s.sink = newBlockSink(s, s.ctx.Clock(), s.ctx.FS(), &s.m)
 	s.reads = make(map[string]*readRound)
 	s.m.Idx = s.idx
+	if s.cfg.ActiveBuffering && s.cfg.AsyncDrain {
+		s.engine = newDrainEngine(s)
+	}
 	for s.shutdown < len(s.myClients) {
+		if s.engine != nil && s.engine.crashed.Load() {
+			panic(serverCrashed{}) // a writer task died; the process dies with it
+		}
 		if len(s.buf) > 0 {
 			if st, ok := s.world.Iprobe(mpi.AnySource, mpi.AnyTag); ok {
 				s.handle(st)
@@ -158,13 +189,56 @@ func (s *server) run() {
 		}
 		s.handle(s.world.Probe(mpi.AnySource, mpi.AnyTag))
 	}
-	s.drainAll()
-	s.closeWriters("")
-	// Acknowledge all shutdowns only after everything is on disk.
+	err := s.flushOutput()
+	// Acknowledge all shutdowns only after everything is on disk; the ack
+	// carries the drain outcome so the clients can refuse the commit.
 	for _, dst := range s.shutdownQueue {
-		s.world.Send(dst, tagShutdownAck, nil)
+		s.world.Send(dst, tagShutdownAck, ackPayload(err))
 	}
 }
+
+// flushOutput forces every buffered or queued block to disk and closes the
+// snapshot files, returning the server's sticky drain error (nil when all
+// output landed). Both drain modes converge here: it is the
+// barrier-before-commit that sync, restart scans and shutdown rely on.
+func (s *server) flushOutput() error {
+	if s.engine != nil {
+		if err := s.engine.flushBarrier(); err != nil && s.drainErr == nil {
+			s.drainErr = err
+		}
+		return s.drainErr
+	}
+	for len(s.buf) > 0 {
+		s.drainOne()
+	}
+	if err := s.sink.closeAll(""); err != nil {
+		s.noteDrainErr(err)
+	}
+	return s.drainErr
+}
+
+// noteDrainErr records a failed block write or file close. The first error
+// sticks: it is reported on every subsequent sync/shutdown ack, so no
+// generation after the failure can commit.
+func (s *server) noteDrainErr(err error) {
+	if s.drainErr == nil {
+		s.drainErr = err
+	}
+	s.m.DrainErrors++
+	s.mx.drainErrors.Inc()
+}
+
+// ackPayload encodes a drain outcome for a sync or shutdown ack.
+func ackPayload(err error) []byte {
+	if err != nil {
+		return []byte{ackDrainFailed}
+	}
+	return nil
+}
+
+// traceRank is this server's row in the phase timeline: servers sit after
+// the client ranks so drain spans never overwrite a client's row.
+func (s *server) traceRank() int { return len(s.allClients) + s.idx }
 
 // handle dispatches one control message.
 func (s *server) handle(st mpi.Status) {
@@ -175,9 +249,8 @@ func (s *server) handle(st mpi.Status) {
 		s.handleReadReq(st.Source)
 	case tagSync:
 		s.recvEmpty(st.Source, tagSync, "sync request")
-		s.drainAll()
-		s.closeWriters("")
-		s.world.Send(st.Source, tagSyncAck, nil)
+		err := s.flushOutput()
+		s.world.Send(st.Source, tagSyncAck, ackPayload(err))
 	case tagShutdown:
 		s.recvEmpty(st.Source, tagShutdown, "shutdown request")
 		s.shutdown++
@@ -239,7 +312,9 @@ func (s *server) handleWrite(src int) {
 		}
 		blk := pendingBlock{fname: fname, sets: sets, bytes: int64(len(payload)), time: hdr.Time, step: hdr.Step}
 		if !s.cfg.ActiveBuffering {
-			s.writeBlock(blk)
+			if err := s.sink.write(blk); err != nil {
+				s.noteDrainErr(err)
+			}
 			continue
 		}
 		// Buffer at memory speed; the client's ack is delayed only by
@@ -247,10 +322,17 @@ func (s *server) handleWrite(src int) {
 		if s.cfg.MemcpyBW > 0 {
 			s.ctx.Clock().Compute(float64(blk.bytes) / s.cfg.MemcpyBW)
 		}
-		s.buf = append(s.buf, blk)
-		s.bufBytes += blk.bytes
 		s.m.BlocksBuffered++
 		s.mx.blocksBuffered.Inc()
+		if s.engine != nil {
+			// Background drain: hand the block to the writer pool (which
+			// may stall here on the byte budget) and keep serving.
+			s.engine.enqueue(blk)
+			s.maybeCrash(faults.MidBuffer)
+			continue
+		}
+		s.buf = append(s.buf, blk)
+		s.bufBytes += blk.bytes
 		s.maybeCrash(faults.MidBuffer)
 		if s.bufBytes > s.m.MaxBufBytes {
 			s.m.MaxBufBytes = s.bufBytes
@@ -293,51 +375,84 @@ func (s *server) maybeCrash(point faults.CrashPoint) {
 
 // drainOne writes the oldest buffered block to its file, recording the
 // block's drain latency (the background cost active buffering hides).
+// Synchronous mode only; the writer pool drains its own queues.
 func (s *server) drainOne() {
 	blk := s.buf[0]
 	s.buf = s.buf[1:]
 	s.bufBytes -= blk.bytes
 	t0 := s.ctx.Clock().Now()
-	s.writeBlock(blk)
+	err := s.sink.write(blk)
 	s.mx.drainSeconds.Observe(s.ctx.Clock().Now() - t0)
+	if err != nil {
+		// Keep draining the rest: other files may still complete, and the
+		// sticky error already blocks every later commit.
+		s.noteDrainErr(err)
+	}
 	s.maybeCrash(faults.MidDrain)
 }
 
-func (s *server) drainAll() {
-	for len(s.buf) > 0 {
-		s.drainOne()
+// blockSink owns a set of open snapshot writers and appends blocks to
+// them. The request loop uses one directly in synchronous mode; with
+// AsyncDrain each writer task owns a private sink (its own clock identity
+// and filesystem view, required by the simulated platforms). Tallies land
+// in m — the server's own ServerMetrics for the loop's sink, writer-local
+// totals merged at exit for the pool's sinks — so sinks never share
+// mutable state.
+type blockSink struct {
+	s        *server
+	clock    rt.Clock
+	fs       rt.FS
+	m        *ServerMetrics
+	writers  map[string]*hdf.Writer
+	metaDone map[string]bool
+}
+
+func newBlockSink(s *server, clock rt.Clock, fs rt.FS, m *ServerMetrics) *blockSink {
+	return &blockSink{
+		s: s, clock: clock, fs: fs, m: m,
+		writers:  make(map[string]*hdf.Writer),
+		metaDone: make(map[string]bool),
 	}
 }
 
-// writeBlock appends one block's datasets to the snapshot file, opening it
+// write appends one block's datasets to the snapshot file, opening it
 // first if needed. Opening a new snapshot file closes the previous
-// snapshot's writer (collective writes are ordered, so once a newer
+// snapshot's writers (collective writes are ordered, so once a newer
 // snapshot's data drains, older files are complete). A file that was
 // already created and closed (for example by one client's sync while
 // another client's blocks were still inbound) is reopened in append mode —
 // recreating it would truncate the blocks already on disk.
-func (s *server) writeBlock(blk pendingBlock) {
-	w, ok := s.writers[blk.fname]
+//
+// Errors are returned, not panicked: a full disk on a server must surface
+// through the sync acks and the clients' commit allreduce, not tear the
+// whole run down (see noteDrainErr and Client.Sync).
+func (k *blockSink) write(blk pendingBlock) error {
+	s := k.s
+	w, ok := k.writers[blk.fname]
 	if !ok {
-		s.closeWriters(blk.fname)
+		if err := k.closeAll(blk.fname); err != nil {
+			return err
+		}
 		var err error
-		if s.metaDone[blk.fname] {
-			w, err = hdf.OpenAppend(s.ctx.FS(), blk.fname, s.ctx.Clock(), s.cfg.Profile)
+		if k.metaDone[blk.fname] {
+			w, err = hdf.OpenAppend(k.fs, blk.fname, k.clock, s.cfg.Profile)
 		} else {
-			w, err = hdf.Create(s.ctx.FS(), blk.fname, s.ctx.Clock(), s.cfg.Profile)
-			s.m.FilesCreated++
-			s.mx.filesCreated.Inc()
+			w, err = hdf.Create(k.fs, blk.fname, k.clock, s.cfg.Profile)
 		}
 		if err != nil {
-			panic(fmt.Sprintf("rocpanda: server %d: %v", s.idx, err))
+			return fmt.Errorf("rocpanda: server %d: %w", s.idx, err)
+		}
+		if !k.metaDone[blk.fname] {
+			k.m.FilesCreated++
+			s.mx.filesCreated.Inc()
 		}
 		w.Compress = s.cfg.Compress
 		w.Metrics = s.cfg.Metrics
-		s.writers[blk.fname] = w
+		k.writers[blk.fname] = w
 	}
-	if !s.metaDone[blk.fname] {
+	if !k.metaDone[blk.fname] {
 		s.maybeCrash(faults.BeforeMeta)
-		s.metaDone[blk.fname] = true
+		k.metaDone[blk.fname] = true
 		err := w.CreateDataset("_meta", hdf.U8, []int64{0}, []hdf.Attr{
 			hdf.F64Attr("time", blk.time),
 			hdf.I32Attr("step", blk.step),
@@ -345,35 +460,40 @@ func (s *server) writeBlock(blk pendingBlock) {
 			hdf.I32Attr("nservers", int32(s.numServers)),
 		}, nil)
 		if err != nil {
-			panic(err)
+			return fmt.Errorf("rocpanda: server %d writing %s meta: %w", s.idx, blk.fname, err)
 		}
 	}
 	for _, set := range blk.sets {
 		if err := w.CreateDataset(set.Name, set.Type, set.Dims, set.Attrs, set.Data); err != nil {
-			panic(fmt.Sprintf("rocpanda: server %d writing %s: %v", s.idx, blk.fname, err))
+			return fmt.Errorf("rocpanda: server %d writing %s: %w", s.idx, blk.fname, err)
 		}
 	}
-	s.m.BlocksWritten++
-	s.m.BytesWritten += blk.bytes
+	k.m.BlocksWritten++
+	k.m.BytesWritten += blk.bytes
 	s.mx.blocksWritten.Inc()
 	s.mx.bytesWritten.Add(blk.bytes)
+	return nil
 }
 
-// closeWriters closes every open writer except the named one.
-func (s *server) closeWriters(except string) {
-	names := make([]string, 0, len(s.writers))
-	for name := range s.writers {
+// closeAll closes every open writer except the named one, returning the
+// first failure (all writers are closed and forgotten regardless — a
+// handle that failed its close is not worth retrying).
+func (k *blockSink) closeAll(except string) error {
+	names := make([]string, 0, len(k.writers))
+	for name := range k.writers {
 		if name != except {
 			names = append(names, name)
 		}
 	}
 	sort.Strings(names)
+	var first error
 	for _, name := range names {
-		if err := s.writers[name].Close(); err != nil {
-			panic(err)
+		if err := k.writers[name].Close(); err != nil && first == nil {
+			first = err
 		}
-		delete(s.writers, name)
+		delete(k.writers, name)
 	}
+	return first
 }
 
 // handleReadReq accumulates one client's restart request; when all clients
@@ -431,8 +551,7 @@ func (s *server) serveRead(file, window string, round *readRound) {
 	scanT0 := s.ctx.Clock().Now()
 	defer func() { s.mx.scanSeconds.Observe(s.ctx.Clock().Now() - scanT0) }()
 	// Buffered data must be on disk before any restart read.
-	s.drainAll()
-	s.closeWriters("")
+	s.flushOutput()
 
 	// Snapshot files are dealt round-robin over the servers sharing the
 	// scan — all of them normally, the agreed survivors in degraded mode.

@@ -20,6 +20,10 @@ const (
 	PhaseWrite   = "write"
 	PhaseRead    = "read"
 	PhaseSync    = "sync"
+	// PhaseDrain is background server writeback overlapped with client
+	// computation (rocpanda's AsyncDrain writer pool); servers record it
+	// on timeline rows after the client ranks.
+	PhaseDrain = "drain"
 )
 
 // Span is one recorded interval on one rank. The JSON field names are
@@ -97,6 +101,7 @@ var phaseGlyphs = map[string]byte{
 	PhaseWrite:   'W',
 	PhaseRead:    'R',
 	PhaseSync:    'S',
+	PhaseDrain:   'D',
 }
 
 // Timeline renders one line per rank, width columns across [0, maxT],
@@ -131,8 +136,8 @@ func (r *Recorder) Timeline(w io.Writer, width int) error {
 	}
 	sort.Ints(order)
 
-	fmt.Fprintf(w, "timeline over %.3fs (%c compute, %c write, %c read, %c sync)\n",
-		maxT, phaseGlyphs[PhaseCompute], phaseGlyphs[PhaseWrite], phaseGlyphs[PhaseRead], phaseGlyphs[PhaseSync])
+	fmt.Fprintf(w, "timeline over %.3fs (%c compute, %c write, %c read, %c sync, %c drain)\n",
+		maxT, phaseGlyphs[PhaseCompute], phaseGlyphs[PhaseWrite], phaseGlyphs[PhaseRead], phaseGlyphs[PhaseSync], phaseGlyphs[PhaseDrain])
 	for _, rk := range order {
 		line := []byte(strings.Repeat(".", width))
 		for _, s := range spans {

@@ -93,7 +93,7 @@ func TestTimelineGolden(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := strings.Join([]string{
-		"timeline over 10.000s (= compute, W write, R read, S sync)",
+		"timeline over 10.000s (= compute, W write, R read, S sync, D drain)",
 		"rank   0 ================WWWW",
 		"rank   1 ==================RR",
 		"compute  max over ranks: 9.000s",
