@@ -1,7 +1,8 @@
 // Command comparebench is the CI bench-regression gate: it diffs a fresh
 // genxbench JSON against the committed baseline and fails (exit 1) when a
-// module's visible_write_seconds grows, or its throughput_mbps shrinks, by
-// more than the tolerance. The simulated platform is deterministic in its
+// module's visible_write_seconds or visible_read_seconds (the restart
+// cost) grows, or its throughput_mbps shrinks, by more than the
+// tolerance. The simulated platform is deterministic in its
 // seed, so drift beyond the tolerance is a code change, not noise — the
 // tolerance only absorbs intentional small cost-model adjustments.
 //
@@ -23,6 +24,7 @@ type benchFile struct {
 	IOs    []struct {
 		IO             string  `json:"io"`
 		VisibleWrite   float64 `json:"visible_write_seconds"`
+		VisibleRead    float64 `json:"visible_read_seconds"`
 		SyncWait       float64 `json:"sync_wait_seconds"`
 		ThroughputMBps float64 `json:"throughput_mbps"`
 	} `json:"ios"`
@@ -70,7 +72,7 @@ func main() {
 		curByIO[io.IO] = i
 	}
 	bad := false
-	fmt.Printf("%-16s %22s %22s\n", "module", "visible_write_seconds", "throughput_mbps")
+	fmt.Printf("%-16s %22s %22s %22s\n", "module", "visible_write_seconds", "visible_read_seconds", "throughput_mbps")
 	for _, b := range base.IOs {
 		i, ok := curByIO[b.IO]
 		if !ok {
@@ -80,6 +82,7 @@ func main() {
 		}
 		c := cur.IOs[i]
 		vwBad := b.VisibleWrite > 0 && c.VisibleWrite > b.VisibleWrite*(1+*tol)
+		vrBad := b.VisibleRead > 0 && c.VisibleRead > b.VisibleRead*(1+*tol)
 		tpBad := b.ThroughputMBps > 0 && c.ThroughputMBps < b.ThroughputMBps*(1-*tol)
 		mark := func(regressed bool) string {
 			if regressed {
@@ -87,10 +90,11 @@ func main() {
 			}
 			return ""
 		}
-		fmt.Printf("%-16s %10.4f -> %8.4f%s %9.1f -> %8.1f%s\n",
+		fmt.Printf("%-16s %10.4f -> %8.4f%s %10.4f -> %8.4f%s %9.1f -> %8.1f%s\n",
 			b.IO, b.VisibleWrite, c.VisibleWrite, mark(vwBad),
+			b.VisibleRead, c.VisibleRead, mark(vrBad),
 			b.ThroughputMBps, c.ThroughputMBps, mark(tpBad))
-		bad = bad || vwBad || tpBad
+		bad = bad || vwBad || vrBad || tpBad
 	}
 	if bad {
 		fmt.Fprintf(os.Stderr, "comparebench: performance regressed beyond %.0f%% of the committed baseline\n", *tol*100)

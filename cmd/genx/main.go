@@ -26,6 +26,7 @@ func main() {
 	io := flag.String("io", "rocpanda", "I/O module: rocpanda | rochdf | trochdf")
 	servers := flag.Int("servers", 1, "Rocpanda I/O server count")
 	async := flag.Bool("async", false, "Rocpanda: drain buffers on background writer tasks (overlap writeback with computation)")
+	pread := flag.Bool("pread", false, "Rocpanda: serve restart reads from a parallel read-worker pool (overlap disk reads with shipping)")
 	steps := flag.Int("steps", 20, "timesteps")
 	snapEvery := flag.Int("snap-every", 10, "snapshot interval in steps")
 	scale := flag.Float64("scale", 0.05, "lab-scale mesh scale in (0,1]")
@@ -72,6 +73,7 @@ func main() {
 			ActiveBuffering: true,
 			AsyncDrain:      *async,
 			DrainWriters:    2,
+			ParallelRead:    *pread,
 		},
 	}
 	switch *burn {
@@ -120,6 +122,13 @@ func main() {
 			s.Counters["rocpanda.restart.catalog_fallbacks"],
 			s.Counters["rocpanda.restart.files_opened"],
 			float64(s.Counters["rocpanda.restart.bytes_read"])/1e6)
+		if *pread {
+			fmt.Printf("  read pool: queue peak %.0f, %d backpressure waits, %d errors, %.1f MB wasted\n",
+				s.Gauges["rocpanda.read.queue_depth"],
+				s.Counters["rocpanda.read.backpressure_waits"],
+				s.Counters["rocpanda.read.errors"],
+				float64(s.Counters["rocpanda.restart.bytes_wasted"])/1e6)
+		}
 	}
 	names, err := fs.List("run/")
 	if err != nil {

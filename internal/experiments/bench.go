@@ -23,8 +23,12 @@ import (
 // (rocpanda.restart.catalog_hits, .catalog_fallbacks, .files_opened,
 // .bytes_read). v4 added the rocpanda-async entry (the background drain
 // engine) and the rocpanda.drain.* metrics (queue_depth,
-// backpressure_waits, overlap_seconds, errors).
-const BenchSchema = "genxio-bench/v4"
+// backpressure_waits, overlap_seconds, errors). v5 added the
+// rocpanda-pread entry (the parallel restart read engine) plus the
+// rocpanda.read.* metrics (queue_depth, backpressure_waits,
+// overlap_seconds, errors), rocpanda.restart.bytes_wasted, and
+// rocpanda.drain.flush_seconds.
+const BenchSchema = "genxio-bench/v5"
 
 // BenchOpts configures the observability bench: one small integrated run
 // per I/O module on the simulated Turing platform, with a metrics
@@ -98,14 +102,20 @@ func RunBench(opts BenchOpts) (*BenchResult, error) {
 		name  string
 		kind  rocman.IOKind
 		async bool
+		pread bool
 	}{
-		{"rochdf", rocman.IORochdf, false},
-		{"trochdf", rocman.IOTRochdf, false},
-		{"rocpanda", rocman.IORocpanda, false},
+		{"rochdf", rocman.IORochdf, false, false},
+		{"trochdf", rocman.IOTRochdf, false, false},
+		{"rocpanda", rocman.IORocpanda, false, false},
 		// The same workload with the background drain engine: writeback
 		// overlaps the clients' computation, so visible write and sync
 		// costs drop at byte-identical output.
-		{"rocpanda-async", rocman.IORocpanda, true},
+		{"rocpanda-async", rocman.IORocpanda, true, false},
+		// And with the parallel restart read engine: each server's restart
+		// share is read by a worker pool, so the per-process stream pacing
+		// of the simulated NFS overlaps and the measured restart (visible
+		// read) drops at bit-identical restored state.
+		{"rocpanda-pread", rocman.IORocpanda, false, true},
 	}
 	for _, ent := range entries {
 		kind := ent.kind
@@ -137,6 +147,11 @@ func RunBench(opts BenchOpts) (*BenchResult, error) {
 				cfg.Rocpanda.AsyncDrain = true
 				cfg.Rocpanda.DrainWriters = 2
 				cfg.Rocpanda.BufferBudgetBytes = 256 << 20
+			}
+			if ent.pread {
+				cfg.Rocpanda.ParallelRead = true
+				cfg.Rocpanda.ReadWorkers = 4
+				cfg.Rocpanda.ReadBudgetBytes = 256 << 20
 			}
 			total += m
 		}
@@ -192,6 +207,13 @@ func (r *BenchResult) Format() string {
 			fmt.Fprintf(&b, "%-10s drained %d blocks (%.3fs total, %.3fs overlapped), queue peak %.0f blocks, %d backpressure waits\n",
 				io.IO, d.Count, d.Sum, ov.Sum, s.Gauges["rocpanda.drain.queue_depth"],
 				s.Counters["rocpanda.drain.backpressure_waits"])
+		case "rocpanda-pread":
+			ov := s.Histograms["rocpanda.read.overlap_seconds"]
+			fmt.Fprintf(&b, "%-10s restart read pool: queue peak %.0f tasks, %.3fs disk time overlapped with shipping, %d backpressure waits, %d errors, %.1f MB read\n",
+				io.IO, s.Gauges["rocpanda.read.queue_depth"], ov.Sum,
+				s.Counters["rocpanda.read.backpressure_waits"],
+				s.Counters["rocpanda.read.errors"],
+				float64(s.Counters["rocpanda.restart.bytes_read"])/1e6)
 		case string(rocman.IORocpanda):
 			d := s.Histograms["rocpanda.server.drain_seconds"]
 			fmt.Fprintf(&b, "%-10s drained %d blocks (%.3fs total), buffer peak %.0f bytes, %d overflow stalls, %d restart reads served\n",

@@ -37,8 +37,50 @@ func TestBenchJSONDeterministicAndParseable(t *testing.T) {
 	if err := json.Unmarshal(ba.Bytes(), &round); err != nil {
 		t.Fatalf("bench JSON does not parse: %v", err)
 	}
-	if round.Schema != BenchSchema || len(round.IOs) != 4 {
+	if round.Schema != BenchSchema || len(round.IOs) != 5 {
 		t.Fatalf("roundtrip schema=%q ios=%d", round.Schema, len(round.IOs))
+	}
+}
+
+// TestBenchParallelReadSpeedsUpRestart is the read engine's acceptance
+// criterion: on the same workload, seed and platform, the parallel-read
+// rocpanda run must show a lower restart (visible read) cost than the
+// serial one — the per-worker stream pacing of the simulated NFS overlaps
+// across the pool — at identical bytes restored.
+func TestBenchParallelReadSpeedsUpRestart(t *testing.T) {
+	res, err := RunBench(BenchOpts{Scale: 0.05, Procs: 8, Seed: 3, Stride: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byIO := map[string]IOBenchResult{}
+	for _, io := range res.IOs {
+		byIO[io.IO] = io
+	}
+	ser, ok := byIO["rocpanda"]
+	if !ok {
+		t.Fatal("rocpanda entry missing")
+	}
+	par, ok := byIO["rocpanda-pread"]
+	if !ok {
+		t.Fatal("rocpanda-pread entry missing")
+	}
+	if par.VisibleRead >= ser.VisibleRead {
+		t.Fatalf("parallel visible read %.4fs not below serial's %.4fs", par.VisibleRead, ser.VisibleRead)
+	}
+	if par.VisibleRead <= 0 {
+		t.Fatal("parallel restart read not measured")
+	}
+	sb := ser.Metrics.Counters["rocpanda.restart.bytes_read"]
+	pb := par.Metrics.Counters["rocpanda.restart.bytes_read"]
+	if pb != sb || pb == 0 {
+		t.Fatalf("restart bytes differ: parallel %d, serial %d", pb, sb)
+	}
+	if par.Metrics.Counters["rocpanda.read.errors"] != 0 {
+		t.Fatalf("read errors = %d on a healthy bench", par.Metrics.Counters["rocpanda.read.errors"])
+	}
+	if par.Metrics.Gauges["rocpanda.read.queue_depth"] < 2 {
+		t.Fatalf("read queue peak %.0f, want >= 2 (the pool ran wide)",
+			par.Metrics.Gauges["rocpanda.read.queue_depth"])
 	}
 }
 

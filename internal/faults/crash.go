@@ -24,6 +24,12 @@ const (
 	// its _meta dataset is written — the earliest possible on-disk state
 	// of a snapshot.
 	BeforeMeta CrashPoint = "before-meta"
+	// MidRead fires while the server is serving a restart round, after it
+	// has read (and possibly shipped) some of its file share but before
+	// the round's done notifications: clients must detect the silence,
+	// declare the server dead, and recover — from the survivors or by
+	// falling back a generation.
+	MidRead CrashPoint = "mid-read"
 )
 
 // CrashPlan kills one Rocpanda server at the Nth visit of a crash point.

@@ -19,6 +19,11 @@ const (
 	OpRead     FSOp = "read"
 	OpTruncate FSOp = "truncate"
 	OpRename   FSOp = "rename"
+	// OpList targets directory listings; PathPrefix matches the listing
+	// prefix, not a file name. A transient listing failure is how NFS-style
+	// backends surface a flaky metadata server — restart paths must degrade,
+	// not die, when one fires.
+	OpList FSOp = "list"
 )
 
 // FSRule fails matching filesystem operations. Operation counts are kept
@@ -186,8 +191,14 @@ func (f *faultFS) Rename(oldname, newname string) error {
 	return f.inner.Rename(oldname, newname)
 }
 
-func (f *faultFS) List(prefix string) ([]string, error) { return f.inner.List(prefix) }
-func (f *faultFS) Stat(name string) (int64, error)      { return f.inner.Stat(name) }
+func (f *faultFS) List(prefix string) ([]string, error) {
+	if r, ok := f.plan.check(OpList, prefix); ok {
+		return nil, r.err(OpList, prefix)
+	}
+	return f.inner.List(prefix)
+}
+
+func (f *faultFS) Stat(name string) (int64, error) { return f.inner.Stat(name) }
 
 type faultFile struct {
 	inner rt.File

@@ -157,6 +157,12 @@ func Run(ctx mpi.Ctx, cfg Config) (*Report, error) {
 	cfg.Metrics.Counter("rocpanda.drain.backpressure_waits")
 	cfg.Metrics.Histogram("rocpanda.drain.overlap_seconds", nil)
 	cfg.Metrics.Counter("rocpanda.drain.errors")
+	cfg.Metrics.Histogram("rocpanda.drain.flush_seconds", nil)
+	cfg.Metrics.Gauge("rocpanda.read.queue_depth")
+	cfg.Metrics.Counter("rocpanda.read.backpressure_waits")
+	cfg.Metrics.Histogram("rocpanda.read.overlap_seconds", nil)
+	cfg.Metrics.Counter("rocpanda.read.errors")
+	cfg.Metrics.Counter("rocpanda.restart.bytes_wasted")
 
 	// I/O module selection: Rocpanda splits the world; the Rochdf
 	// variants use the world communicator directly.

@@ -232,16 +232,27 @@ func (c *Client) ReadPanes(file string, w *roccom.Window, attr string, ids []int
 	// pane across two servers' files. First arrival wins (the copies are
 	// identical); recovered panes are counted once.
 	recovered := make(map[int]bool, len(ids))
+	reported := make(map[int]bool, len(alive))
 	dones := 0
 	for dones < len(alive) {
 		data, st, ok := c.recvReadMsg()
 		if !ok {
+			// A server that never reported its round is dead (or as good
+			// as): mark it so the next attempt — typically the caller
+			// falling back a generation — agrees on the survivors instead
+			// of stalling on the same silence again.
+			for _, si := range alive {
+				if !reported[c.srvRanks[si]] {
+					c.markDeadRank(c.srvRanks[si])
+				}
+			}
 			return fmt.Errorf("rocpanda: restart of %q stalled (%d of %d servers reported)",
 				file, dones, len(alive))
 		}
 		switch st.Tag {
 		case tagReadDone:
 			dones++
+			reported[st.Source] = true
 			if len(data) == 1 && data[0] == doneModeIndexed {
 				c.m.IndexedReads++
 			}

@@ -76,14 +76,26 @@ func writeSnapshot(t *testing.T, fs rt.FS, file string, nClients, nServers, nblo
 // may be nil; fallback tests pass one to assert on restart counters.
 func restartTopology(t *testing.T, fs rt.FS, file string, nClients, nServers int, reg *metrics.Registry) map[int]paneData {
 	t.Helper()
+	return restartTopologyCfg(t, fs, file, nClients, nServers, reg, nil)
+}
+
+// restartTopologyCfg is restartTopology with a config hook: tune (may be
+// nil) edits the restart world's Config before Init — how the parallel
+// read engine's tests turn it on without forking the whole harness.
+func restartTopologyCfg(t *testing.T, fs rt.FS, file string, nClients, nServers int, reg *metrics.Registry, tune func(*Config)) map[int]paneData {
+	t.Helper()
 	got := make(map[int]paneData)
 	var mu sync.Mutex
 	world := mpi.NewChanWorld(fs, 1)
 	err := world.Run(nClients+nServers, func(ctx mpi.Ctx) error {
-		cl, err := Init(ctx, Config{
+		cfg := Config{
 			NumServers: nServers, Profile: hdf.NullProfile(),
 			ActiveBuffering: true, Metrics: reg,
-		})
+		}
+		if tune != nil {
+			tune(&cfg)
+		}
+		cl, err := Init(ctx, cfg)
 		if err != nil {
 			return err
 		}

@@ -37,6 +37,12 @@ const ackDrainFailed = 1
 const (
 	doneModeScan    = 0 // directory walk over the server's file share
 	doneModeIndexed = 1 // catalog-planned direct offset reads
+	// doneModeFailed reports that the server could not serve its share at
+	// all (e.g. the snapshot listing failed): the round completed — the
+	// client is not left hanging — but shipped nothing from this server.
+	// The client decides whether the restart is still complete (peers may
+	// hold duplicate panes) or must fall back a generation.
+	doneModeFailed = 2
 )
 
 // writeHdr announces a collective write from one client: nblocks block

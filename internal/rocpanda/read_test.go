@@ -1,0 +1,451 @@
+package rocpanda
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"genxio/internal/catalog"
+	"genxio/internal/faults"
+	"genxio/internal/hdf"
+	"genxio/internal/metrics"
+	"genxio/internal/mpi"
+	"genxio/internal/rt"
+)
+
+// collectServerMetrics returns a tune hook that turns on the read engine
+// knobs via tune and collects every server's final metrics.
+func collectServerMetrics(sm *[]ServerMetrics, mu *sync.Mutex, tune func(*Config)) func(*Config) {
+	return func(cfg *Config) {
+		if tune != nil {
+			tune(cfg)
+		}
+		cfg.OnServerDone = func(m ServerMetrics) {
+			mu.Lock()
+			*sm = append(*sm, m)
+			mu.Unlock()
+		}
+	}
+}
+
+// restartExpectIncomplete restarts file on a fresh world over fs and
+// requires every client's collective read to fail with
+// ErrIncompleteRestart — the degraded-not-dead contract of a damaged or
+// unreachable share. Returns the servers' final metrics.
+func restartExpectIncomplete(t *testing.T, fs rt.FS, file string, nClients, nServers int, reg *metrics.Registry, tune func(*Config)) []ServerMetrics {
+	t.Helper()
+	var mu sync.Mutex
+	var sm []ServerMetrics
+	world := mpi.NewChanWorld(fs, 1)
+	err := world.Run(nClients+nServers, func(ctx mpi.Ctx) error {
+		cfg := Config{
+			NumServers: nServers, Profile: hdf.NullProfile(),
+			ActiveBuffering: true, Metrics: reg,
+		}
+		if tune != nil {
+			tune(&cfg)
+		}
+		cfg.OnServerDone = func(m ServerMetrics) {
+			mu.Lock()
+			sm = append(sm, m)
+			mu.Unlock()
+		}
+		cl, err := Init(ctx, cfg)
+		if err != nil {
+			return err
+		}
+		if cl == nil {
+			return nil
+		}
+		w := zeroWindow(t, cl.Comm().Rank(), 2)
+		readErr := cl.ReadAttribute(file, w, "all")
+		if err := cl.Shutdown(); err != nil {
+			return err
+		}
+		if readErr == nil {
+			t.Errorf("client %d restored %q despite the injected damage", cl.Comm().Rank(), file)
+			return nil
+		}
+		if !errors.Is(readErr, ErrIncompleteRestart) {
+			return readErr
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sm
+}
+
+// TestParallelReadMxNBitExact is the read engine's core contract: with
+// ParallelRead on, an M×N restart restores every pane bit-identical to
+// the serial path, whether shrinking or growing the topology — ordering
+// across files may differ, but per-file plan order and first-arrival
+// dedupe make the restored state equal.
+func TestParallelReadMxNBitExact(t *testing.T) {
+	var mu sync.Mutex
+	cases := []struct {
+		name               string
+		wClients, wServers int
+		rClients, rServers int
+	}{
+		{"shrink", 8, 2, 3, 1},
+		{"grow", 3, 1, 8, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fs := rt.NewMemFS()
+			file := "pread/" + tc.name
+			writeSnapshot(t, fs, file, tc.wClients, tc.wServers, 2)
+			want := expectedPanes(t, tc.wClients, 2)
+
+			serialReg := metrics.New()
+			checkMxN(t, want, restartTopology(t, fs, file, tc.rClients, tc.rServers, serialReg))
+
+			var sm []ServerMetrics
+			parReg := metrics.New()
+			got := restartTopologyCfg(t, fs, file, tc.rClients, tc.rServers, parReg,
+				collectServerMetrics(&sm, &mu, func(cfg *Config) {
+					cfg.ParallelRead = true
+					cfg.ReadWorkers = 4
+				}))
+			checkMxN(t, want, got)
+
+			// Same generation, same plans: the engine must read exactly the
+			// bytes the serial indexed path reads, and serve from the catalog.
+			sSnap, pSnap := serialReg.Snapshot(), parReg.Snapshot()
+			if s, p := sSnap.Counters["rocpanda.restart.bytes_read"], pSnap.Counters["rocpanda.restart.bytes_read"]; p != s || p == 0 {
+				t.Fatalf("parallel bytes_read = %d, serial = %d; want equal and > 0", p, s)
+			}
+			if hits := pSnap.Counters["rocpanda.restart.catalog_hits"]; hits != int64(tc.rServers) {
+				t.Fatalf("catalog_hits = %d, want %d", hits, tc.rServers)
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			var served, errs int
+			for _, m := range sm {
+				served += m.ReadsServed
+				errs += m.ReadErrors
+			}
+			if served == 0 {
+				t.Fatal("parallel servers shipped nothing")
+			}
+			if errs != 0 {
+				t.Fatalf("read errors = %d on a healthy restart", errs)
+			}
+			sm = nil
+		})
+	}
+}
+
+// TestParallelReadQueueFillsUnbounded pins the admission loop: with no
+// byte budget every task is dealt before the first result is consumed,
+// so the queue peak equals the round's task count (at least the file
+// count) — the pool actually runs wide, it doesn't degenerate.
+func TestParallelReadQueueFillsUnbounded(t *testing.T) {
+	fs := rt.NewMemFS()
+	writeSnapshot(t, fs, "pq/s", 8, 2, 2)
+	var mu sync.Mutex
+	var sm []ServerMetrics
+	got := restartTopologyCfg(t, fs, "pq/s", 3, 1, nil,
+		collectServerMetrics(&sm, &mu, func(cfg *Config) { cfg.ParallelRead = true }))
+	checkMxN(t, expectedPanes(t, 8, 2), got)
+	mu.Lock()
+	defer mu.Unlock()
+	if len(sm) != 1 {
+		t.Fatalf("server metrics %v, want 1 server", sm)
+	}
+	// The lone server's share is the two writers' files: at least one task
+	// per file must have been in flight together.
+	if sm[0].ReadQueuePeak < 2 {
+		t.Fatalf("ReadQueuePeak = %d, want >= 2 (both files in flight)", sm[0].ReadQueuePeak)
+	}
+	if sm[0].ReadBackpressureWaits != 0 {
+		t.Fatalf("backpressure waits = %d with no budget", sm[0].ReadBackpressureWaits)
+	}
+}
+
+// TestParallelReadBudgetOneByteDegeneratesToSerial pins the budget
+// semantics: a budget smaller than any task admits exactly one read at a
+// time — every later task stalls until the pool drains — and the restart
+// still restores everything bit-exact.
+func TestParallelReadBudgetOneByteDegeneratesToSerial(t *testing.T) {
+	fs := rt.NewMemFS()
+	writeSnapshot(t, fs, "pb/s", 8, 2, 2)
+	var mu sync.Mutex
+	var sm []ServerMetrics
+	got := restartTopologyCfg(t, fs, "pb/s", 3, 1, nil,
+		collectServerMetrics(&sm, &mu, func(cfg *Config) {
+			cfg.ParallelRead = true
+			cfg.ReadWorkers = 4
+			cfg.ReadBudgetBytes = 1
+		}))
+	checkMxN(t, expectedPanes(t, 8, 2), got)
+	mu.Lock()
+	defer mu.Unlock()
+	if len(sm) != 1 {
+		t.Fatalf("server metrics %v, want 1 server", sm)
+	}
+	m := sm[0]
+	if m.ReadQueuePeak != 1 {
+		t.Fatalf("ReadQueuePeak = %d with a 1-byte budget, want 1", m.ReadQueuePeak)
+	}
+	if m.ReadBackpressureWaits < 1 {
+		t.Fatalf("ReadBackpressureWaits = %d, want >= 1", m.ReadBackpressureWaits)
+	}
+}
+
+// TestReadListFailureDegradesNotCrash pins the first bugfix: a failed
+// directory listing used to panic the server mid-round, hanging every
+// client waiting for its done notification. It must instead count a read
+// error and report the round failed — clients get their notifications,
+// the collective completes, and the restart surfaces ErrIncompleteRestart
+// instead of deadlocking. Run without RetryTimeout so a hang would be a
+// hang, not a failover.
+func TestReadListFailureDegradesNotCrash(t *testing.T) {
+	raw := rt.NewMemFS()
+	writeSnapshot(t, raw, "lf/A", 2, 1, 2)
+	plan := faults.NewFSPlan(1, faults.FSRule{
+		Op: faults.OpList, PathPrefix: "lf/A_s", Msg: "stale file handle",
+	})
+	reg := metrics.New()
+	sm := restartExpectIncomplete(t, faults.WrapFS(raw, plan), "lf/A", 2, 1, reg, nil)
+	if len(sm) != 1 {
+		t.Fatalf("server metrics %v, want 1 server", sm)
+	}
+	if sm[0].Crashed {
+		t.Fatal("server crashed on a failed listing")
+	}
+	if sm[0].ReadErrors != 1 {
+		t.Fatalf("ReadErrors = %d, want 1 (the failed listing)", sm[0].ReadErrors)
+	}
+	if n := reg.Snapshot().Counters["rocpanda.read.errors"]; n != 1 {
+		t.Fatalf("rocpanda.read.errors = %d, want 1", n)
+	}
+}
+
+// slowRenameFS delays every Rename by delay of real time: the observable
+// cost of closing staged snapshot files during the pre-read flush.
+type slowRenameFS struct {
+	rt.FS
+	delay time.Duration
+}
+
+func (f *slowRenameFS) Rename(oldname, newname string) error {
+	time.Sleep(f.delay)
+	return f.FS.Rename(oldname, newname)
+}
+
+// TestRestartScanTimeExcludesFlush pins the second bugfix: the restart
+// scan histogram used to start before the pre-read flushOutput, so the
+// drain barrier's cost was booked as scan time. Renames (which happen
+// only when the flush closes staged files) are slowed by 100ms of real
+// time; that cost must land in drain.flush_seconds and stay out of
+// restart_scan_seconds.
+func TestRestartScanTimeExcludesFlush(t *testing.T) {
+	fs := &slowRenameFS{FS: rt.NewMemFS(), delay: 100 * time.Millisecond}
+	reg := metrics.New()
+	world := mpi.NewChanWorld(fs, 1)
+	err := world.Run(2, func(ctx mpi.Ctx) error {
+		cl, err := Init(ctx, Config{
+			NumServers: 1, Profile: hdf.NullProfile(),
+			ActiveBuffering: true, Metrics: reg,
+		})
+		if err != nil {
+			return err
+		}
+		if cl == nil {
+			return nil
+		}
+		w := buildWindow(t, cl.Comm().Rank(), 2)
+		if err := cl.WriteAttribute("fl/A", w, "all", 0, 0); err != nil {
+			return err
+		}
+		// No Sync: the buffered generation is still staged, so the read
+		// must flush (and rename) it first.
+		if err := cl.ReadAttribute("fl/A", w, "all"); err != nil {
+			return err
+		}
+		return cl.Shutdown()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := reg.Snapshot()
+	flush := s.Histograms["rocpanda.drain.flush_seconds"]
+	scan := s.Histograms["rocpanda.server.restart_scan_seconds"]
+	if flush.Count == 0 || flush.Sum < 0.09 {
+		t.Fatalf("flush_seconds sum = %v over %d obs, want >= 0.09 (the slowed rename)", flush.Sum, flush.Count)
+	}
+	if scan.Count == 0 || scan.Sum > 0.05 {
+		t.Fatalf("restart_scan_seconds sum = %v, want well under the 0.1s rename delay", scan.Sum)
+	}
+}
+
+// TestRestartWastedBytesAccounting pins the third bugfix: bytes pulled
+// from a file that never ships (here: payload corrupted after commit, so
+// its CRC check fails) must count as bytes_wasted, not bytes_read — the
+// old accounting incremented bytes_read per run before verification and
+// kept it after the early return.
+func TestRestartWastedBytesAccounting(t *testing.T) {
+	for _, mode := range []string{"indexed", "scan"} {
+		t.Run(mode, func(t *testing.T) {
+			fs := rt.NewMemFS()
+			writeSnapshot(t, fs, "wb/A", 2, 1, 2)
+			cat, err := catalog.Load(fs, "wb/A")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(cat.Entries) == 0 {
+				t.Fatal("empty catalog")
+			}
+			// Flip one bit in the middle of the last entry's stored payload:
+			// indexed reads catch it via the entry CRC, scans via the
+			// reader's dataset checksum. The last entry keeps a prefix of
+			// the scan walk succeeding, so the scan's partial reads are
+			// provably re-accounted as waste too.
+			e := cat.Entries[len(cat.Entries)-1]
+			name := cat.Files[e.File]
+			if !e.HasCRC {
+				t.Fatal("catalog entry carries no CRC")
+			}
+			if err := faults.FlipBit(fs, name, (e.Offset+e.Length/2)*8); err != nil {
+				t.Fatal(err)
+			}
+			if mode == "scan" {
+				if err := fs.Remove("wb/A" + catalog.Suffix); err != nil {
+					t.Fatal(err)
+				}
+			}
+			reg := metrics.New()
+			sm := restartExpectIncomplete(t, fs, "wb/A", 2, 1, reg, nil)
+			if len(sm) != 1 {
+				t.Fatalf("server metrics %v, want 1 server", sm)
+			}
+			m := sm[0]
+			if m.FilesOpened != 1 || m.FilesSkipped != 1 {
+				t.Fatalf("opened %d skipped %d, want 1 and 1", m.FilesOpened, m.FilesSkipped)
+			}
+			if m.RestartBytes != 0 {
+				t.Fatalf("RestartBytes = %d for a file that never shipped, want 0", m.RestartBytes)
+			}
+			if m.WastedBytes <= 0 {
+				t.Fatalf("WastedBytes = %d, want > 0", m.WastedBytes)
+			}
+			if m.ReadErrors != 1 {
+				t.Fatalf("ReadErrors = %d, want 1", m.ReadErrors)
+			}
+			s := reg.Snapshot()
+			if n := s.Counters["rocpanda.restart.bytes_read"]; n != 0 {
+				t.Fatalf("bytes_read counter = %d, want 0", n)
+			}
+			if n := s.Counters["rocpanda.restart.bytes_wasted"]; n != m.WastedBytes {
+				t.Fatalf("bytes_wasted counter = %d, want %d", n, m.WastedBytes)
+			}
+		})
+	}
+}
+
+// TestReadFaultsDegradeNotCrash sweeps injected Open and ReadAt failures
+// over the serial and parallel read paths: the poisoned file is skipped
+// whole, the server survives, and the collective surfaces
+// ErrIncompleteRestart.
+func TestReadFaultsDegradeNotCrash(t *testing.T) {
+	for _, par := range []bool{false, true} {
+		for _, op := range []faults.FSOp{faults.OpOpen, faults.OpRead} {
+			name := "serial-" + string(op)
+			if par {
+				name = "parallel-" + string(op)
+			}
+			t.Run(name, func(t *testing.T) {
+				raw := rt.NewMemFS()
+				writeSnapshot(t, raw, "of/A", 2, 1, 2)
+				plan := faults.NewFSPlan(1, faults.FSRule{Op: op, PathPrefix: "of/A_s"})
+				var tune func(*Config)
+				if par {
+					tune = func(cfg *Config) {
+						cfg.ParallelRead = true
+						cfg.ReadWorkers = 2
+					}
+				}
+				sm := restartExpectIncomplete(t, faults.WrapFS(raw, plan), "of/A", 2, 1, nil, tune)
+				if len(sm) != 1 {
+					t.Fatalf("server metrics %v, want 1 server", sm)
+				}
+				if sm[0].Crashed {
+					t.Fatalf("server crashed on an injected %s failure", op)
+				}
+				if sm[0].FilesSkipped < 1 {
+					t.Fatalf("FilesSkipped = %d, want >= 1", sm[0].FilesSkipped)
+				}
+				if sm[0].ReadErrors < 1 {
+					t.Fatalf("ReadErrors = %d, want >= 1", sm[0].ReadErrors)
+				}
+			})
+		}
+	}
+}
+
+// TestParallelReadCrashMidReadFallsBack is the read engine's crash drill:
+// an injected MidRead crash kills server 1 on one of its read workers
+// while it serves snapshot B. The clients' stall detection must declare
+// the silent server dead, and the generation fallback to snapshot A must
+// then restore bit-exact from the survivor alone.
+func TestParallelReadCrashMidReadFallsBack(t *testing.T) {
+	for _, par := range []bool{false, true} {
+		name := "serial"
+		if par {
+			name = "parallel"
+		}
+		t.Run(name, func(t *testing.T) {
+			fs := rt.NewMemFS()
+			writeSnapshot(t, fs, "cr/A", 4, 2, 2)
+			writeSnapshot(t, fs, "cr/B", 4, 2, 2)
+
+			plan := faults.NewCrashPlan(1, faults.MidRead, 1)
+			world := mpi.NewChanWorld(fs, 1)
+			err := world.Run(6, func(ctx mpi.Ctx) error {
+				cl, err := Init(ctx, Config{
+					NumServers: 2, Profile: hdf.NullProfile(),
+					ActiveBuffering: true,
+					ParallelRead:    par,
+					ReadWorkers:     2,
+					Crash:           plan,
+					RetryTimeout:    0.05,
+				})
+				if err != nil {
+					return err
+				}
+				if cl == nil {
+					return nil
+				}
+				w := zeroWindow(t, cl.Comm().Rank(), 2)
+				readErr := cl.ReadAttribute("cr/B", w, "all")
+				bad := 0.0
+				if readErr != nil {
+					bad = 1
+				}
+				// The crash leaves all clients short of B; agree and fall
+				// back a generation, now excluding the dead server.
+				if cl.Comm().AllreduceMax(bad) > 0 {
+					if err := cl.ReadAttribute("cr/A", w, "all"); err != nil {
+						return err
+					}
+				} else {
+					t.Error("no client saw the mid-read crash")
+				}
+				if err := checkWindow(cl.Comm().Rank(), w); err != nil {
+					return err
+				}
+				return cl.Shutdown()
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !plan.Fired() {
+				t.Fatal("crash plan never fired")
+			}
+		})
+	}
+}

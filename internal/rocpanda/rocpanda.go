@@ -90,6 +90,23 @@ type Config struct {
 	// up; 0 means unbounded. A budget of one block degenerates to
 	// write-through timing.
 	BufferBudgetBytes int64
+	// ParallelRead moves restart reads off the server's request loop onto
+	// a pool of read workers (internal/rocpanda/read.go): catalog-planned
+	// extents and directory-scan fallbacks are read concurrently, with
+	// disk reads of one file pipelined against the network shipping of
+	// another. Restored panes are bit-identical to the serial path's
+	// (clients dedupe on first arrival, and all shipping stays on the
+	// server's request loop in plan order).
+	ParallelRead bool
+	// ReadWorkers sizes the read-worker pool (ParallelRead only). Clamped
+	// to [1, 8]; default 4.
+	ReadWorkers int
+	// ReadBudgetBytes bounds the read bytes in flight to the worker pool
+	// (ParallelRead only), so a restart cannot balloon server memory: a
+	// task that would overrun the budget waits for outstanding reads to
+	// complete first. 0 means unbounded; a one-byte budget degenerates to
+	// serial reads.
+	ReadBudgetBytes int64
 	// MemcpyBW is the server's buffer-copy bandwidth (bytes/s) charged
 	// per buffered block on simulated platforms; <= 0 charges nothing.
 	MemcpyBW float64

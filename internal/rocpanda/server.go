@@ -13,6 +13,7 @@ import (
 	"genxio/internal/mpi"
 	"genxio/internal/roccom"
 	"genxio/internal/rt"
+	"genxio/internal/trace"
 )
 
 // ServerMetrics accumulates one server's activity.
@@ -38,6 +39,13 @@ type ServerMetrics struct {
 	BackpressureWaits int     // enqueues stalled on BufferBudgetBytes
 	OverlapSeconds    float64 // background write time overlapped with service
 	DrainErrors       int     // block writes or file closes that failed
+
+	// Restart read engine (Config.ParallelRead) and read-path health.
+	ReadQueuePeak         int     // peak read tasks in flight to the worker pool
+	ReadBackpressureWaits int     // tasks deferred by ReadBudgetBytes
+	ReadOverlapSeconds    float64 // disk read time overlapped with shipping
+	ReadErrors            int     // failed listings and files skipped mid-round
+	WastedBytes           int64   // bytes read from files that never shipped
 }
 
 // serverCrashed is the panic sentinel of an injected server crash; run
@@ -110,10 +118,18 @@ type srvMx struct {
 	backpressure   *metrics.Counter
 	overlapSeconds *metrics.Histogram
 	drainErrors    *metrics.Counter
+	flushSeconds   *metrics.Histogram
+
+	// Restart read engine (Config.ParallelRead) and read-path health.
+	readQueueDepth   *metrics.Gauge
+	readBackpressure *metrics.Counter
+	readOverlap      *metrics.Histogram
+	readErrors       *metrics.Counter
 
 	// Restart I/O-efficiency counters (catalog vs scan).
 	filesOpened      *metrics.Counter
 	restartBytes     *metrics.Counter
+	bytesWasted      *metrics.Counter
 	catalogHits      *metrics.Counter
 	catalogFallbacks *metrics.Counter
 	checksumFails    *metrics.Counter
@@ -137,9 +153,16 @@ func newSrvMx(r *metrics.Registry) srvMx {
 		backpressure:   r.Counter("rocpanda.drain.backpressure_waits"),
 		overlapSeconds: r.Histogram("rocpanda.drain.overlap_seconds", nil),
 		drainErrors:    r.Counter("rocpanda.drain.errors"),
+		flushSeconds:   r.Histogram("rocpanda.drain.flush_seconds", nil),
+
+		readQueueDepth:   r.Gauge("rocpanda.read.queue_depth"),
+		readBackpressure: r.Counter("rocpanda.read.backpressure_waits"),
+		readOverlap:      r.Histogram("rocpanda.read.overlap_seconds", nil),
+		readErrors:       r.Counter("rocpanda.read.errors"),
 
 		filesOpened:      r.Counter("rocpanda.restart.files_opened"),
 		restartBytes:     r.Counter("rocpanda.restart.bytes_read"),
+		bytesWasted:      r.Counter("rocpanda.restart.bytes_wasted"),
 		catalogHits:      r.Counter("rocpanda.restart.catalog_hits"),
 		catalogFallbacks: r.Counter("rocpanda.restart.catalog_fallbacks"),
 		checksumFails:    r.Counter("hdf.checksum_failures"),
@@ -548,10 +571,16 @@ func (s *server) handleReadReq(src int) {
 }
 
 func (s *server) serveRead(file, window string, round *readRound) {
+	// Buffered data must be on disk before any restart read. The flush is
+	// write-back cost, not scan cost: it gets its own histogram, and the
+	// scan clock starts only after it — so with async drain enabled the
+	// restart "scan time" no longer silently absorbs the drain barrier.
+	flushT0 := s.ctx.Clock().Now()
+	s.flushOutput()
+	s.mx.flushSeconds.Observe(s.ctx.Clock().Now() - flushT0)
+
 	scanT0 := s.ctx.Clock().Now()
 	defer func() { s.mx.scanSeconds.Observe(s.ctx.Clock().Now() - scanT0) }()
-	// Buffered data must be on disk before any restart read.
-	s.flushOutput()
 
 	// Snapshot files are dealt round-robin over the servers sharing the
 	// scan — all of them normally, the agreed survivors in degraded mode.
@@ -570,122 +599,155 @@ func (s *server) serveRead(file, window string, round *readRound) {
 	}
 	mode := byte(doneModeScan)
 	if pos >= 0 {
-		if s.serveIndexed(file, window, round, alive, pos) {
-			mode = doneModeIndexed
-			s.m.CatalogHits++
-			s.mx.catalogHits.Inc()
-		} else {
-			s.m.CatalogFallbacks++
-			s.mx.catalogFallbacks.Inc()
-			names, err := s.ctx.FS().List(file + "_s")
-			if err != nil {
-				panic(err)
-			}
-			for i, name := range names {
-				if i%len(alive) != pos {
-					continue // round-robin file assignment
-				}
-				if !strings.HasSuffix(name, ".rhdf") {
-					continue
-				}
-				s.scanFile(name, window, round)
-			}
-		}
+		mode = s.serveShare(file, window, round, alive, pos)
 	}
 	for _, c := range s.allClients {
 		s.world.Send(c, tagReadDone, []byte{mode})
 	}
 }
 
-// serveIndexed serves this server's share of a restart round from the
-// generation's block catalog: only the share's files that actually hold
-// requested panes are opened, wanted extents are coalesced into contiguous
-// reads, and every entry verifies against its recorded CRC32C before
-// anything from its file ships. It returns false when no usable catalog
-// exists (older generation, or one damaged past its checksum) and the
-// caller falls back to the directory scan.
+// serveShare serves this server's round-robin share of a restart round and
+// returns the done-mode byte. One listing feeds both paths, so a catalog
+// verdict can only change how a file is read, never which files this
+// server covers — servers disagreeing about the catalog's health can only
+// re-ship panes (clients dedupe on first arrival), never leave a file
+// unserved.
 //
-// The file share is the same round-robin assignment over the same listing
-// the scan path uses, so a server that falls back still covers a superset
-// of the files the indexed assignment would have given it — servers
-// disagreeing about the catalog's health can only re-ship panes (clients
-// dedupe on first arrival), never leave a file unserved.
-func (s *server) serveIndexed(file, window string, round *readRound, alive []int, pos int) bool {
-	cat, err := catalog.Load(s.ctx.FS(), file)
-	if err != nil {
-		return false
-	}
-	wanted := make(map[int]bool, len(round.wantAll))
-	for id := range round.wantAll {
-		wanted[id] = true
-	}
-	plans := cat.PlanReads(window, wanted)
-	planByFile := make(map[string]catalog.FilePlan, len(plans))
-	for _, p := range plans {
-		planByFile[p.File] = p
-	}
-	inCat := make(map[string]bool, len(cat.Files))
-	for _, name := range cat.Files {
-		inCat[name] = true
-	}
+// With a usable catalog, only the share's files that actually hold
+// requested panes are read (direct coalesced offset reads, every entry
+// CRC-verified before anything from its file ships); files the catalog
+// knows but planned nothing from are skipped unopened — the indexed read's
+// whole win. Files the commit never saw (a server wrongly declared dead
+// renamed its file into place after the manifest) get the directory scan,
+// as does everything when no usable catalog exists.
+//
+// A failed listing degrades instead of killing the server: the round is
+// reported failed (doneModeFailed) so no client is left hanging, and the
+// clients decide whether peers covered the panes or a generation fallback
+// is needed.
+func (s *server) serveShare(file, window string, round *readRound, alive []int, pos int) byte {
 	names, err := s.ctx.FS().List(file + "_s")
 	if err != nil {
-		panic(err)
+		s.noteReadErr()
+		return doneModeFailed
 	}
+	cat, catErr := catalog.Load(s.ctx.FS(), file)
+	var planByFile map[string]catalog.FilePlan
+	var inCat map[string]bool
+	if catErr == nil {
+		wanted := make(map[int]bool, len(round.wantAll))
+		for id := range round.wantAll {
+			wanted[id] = true
+		}
+		plans := cat.PlanReads(window, wanted)
+		planByFile = make(map[string]catalog.FilePlan, len(plans))
+		for _, p := range plans {
+			planByFile[p.File] = p
+		}
+		inCat = make(map[string]bool, len(cat.Files))
+		for _, name := range cat.Files {
+			inCat[name] = true
+		}
+	}
+	var items []readItem
 	for i, name := range names {
 		if i%len(alive) != pos {
 			continue // round-robin file assignment
 		}
-		if plan, ok := planByFile[name]; ok {
-			s.shipPlan(name, round, plan)
+		if catErr == nil {
+			if plan, ok := planByFile[name]; ok {
+				items = append(items, readItem{name: name, plan: plan})
+				continue
+			}
+			if inCat[name] || !strings.HasSuffix(name, ".rhdf") {
+				continue
+			}
+			items = append(items, readItem{name: name, scan: true})
 			continue
 		}
-		if inCat[name] || !strings.HasSuffix(name, ".rhdf") {
-			// The catalog knows this file and planned nothing from it: no
-			// requested panes here, skipped without even opening it — the
-			// indexed read's whole win.
+		if !strings.HasSuffix(name, ".rhdf") {
 			continue
 		}
-		// A file the commit never saw: a server wrongly declared dead
-		// drains and renames its file into place after the committing
-		// client wrote the manifest. The catalog cannot vouch for it
-		// either way, so it gets the directory scan.
-		s.scanFile(name, window, round)
+		items = append(items, readItem{name: name, scan: true})
 	}
-	return true
+	if s.cfg.ParallelRead && len(items) > 0 {
+		s.runReadPool(window, round, items)
+	} else {
+		for _, it := range items {
+			if it.scan {
+				s.scanFile(it.name, window, round)
+			} else {
+				s.shipPlan(it.name, round, it.plan)
+			}
+			s.maybeCrash(faults.MidRead)
+		}
+	}
+	if catErr == nil {
+		s.m.CatalogHits++
+		s.mx.catalogHits.Inc()
+		return doneModeIndexed
+	}
+	s.m.CatalogFallbacks++
+	s.mx.catalogFallbacks.Inc()
+	return doneModeScan
 }
 
-// shipPlan serves one file's planned extents with direct offset reads: no
-// directory parse, no per-dataset lookup cost — the catalog already knows
-// where everything is. Adjacent extents coalesce into single reads. On any
-// damage (CRC mismatch, short read, bad inflate) the whole file is skipped
-// before anything ships, matching the scan path's semantics so a restart
-// never mixes verified and unverified panes from one file.
-func (s *server) shipPlan(name string, round *readRound, plan catalog.FilePlan) {
-	f, err := s.ctx.FS().Open(name)
-	if err != nil {
-		s.m.FilesSkipped++
-		s.mx.filesSkipped.Inc()
+// paneShip is one pane's ship-ready payload: assembled datasets destined
+// for the owning client. Building one never sends anything — the server
+// goroutine owns all network traffic (simulated endpoints charge the
+// sending process), so workers assemble and the request loop ships.
+type paneShip struct {
+	owner int
+	sets  []roccom.IOSet
+}
+
+// sendShips ships assembled pane payloads to their owners, in order.
+func (s *server) sendShips(ships []paneShip) {
+	for _, sh := range ships {
+		s.world.Send(sh.owner, tagReadBlock, roccom.EncodeIOSets(sh.sets))
+		s.m.ReadsServed++
+		s.mx.readsServed.Inc()
+	}
+}
+
+// skipFile records one unreadable or damaged snapshot file skipped during
+// a restart, with whatever was already read from it accounted as wasted —
+// bytes_read counts only files that shipped.
+func (s *server) skipFile(wasted int64) {
+	s.m.FilesSkipped++
+	s.mx.filesSkipped.Inc()
+	s.noteReadErr()
+	if wasted > 0 {
+		s.m.WastedBytes += wasted
+		s.mx.bytesWasted.Add(wasted)
+	}
+}
+
+// noteReadErr counts one read-path failure (a failed listing, or a file
+// skipped mid-round).
+func (s *server) noteReadErr() {
+	s.m.ReadErrors++
+	s.mx.readErrors.Inc()
+}
+
+// noteRestartBytes accounts payload bytes of a file whose panes shipped.
+func (s *server) noteRestartBytes(n int64) {
+	if n <= 0 {
 		return
 	}
-	defer f.Close()
-	s.m.FilesOpened++
-	s.mx.filesOpened.Inc()
+	s.m.RestartBytes += n
+	s.mx.restartBytes.Add(n)
+}
 
-	runs := catalog.Coalesce(plan.Entries, 0)
-	bufs := make([][]byte, len(runs))
-	for i, run := range runs {
-		bufs[i] = make([]byte, run.Length)
-		if _, err := f.ReadAt(bufs[i], run.Offset); err != nil {
-			s.m.FilesSkipped++
-			s.mx.filesSkipped.Inc()
-			return
-		}
-		s.m.RestartBytes += run.Length
-		s.mx.restartBytes.Add(run.Length)
-	}
-
-	// Verify every entry before shipping any of them.
+// assembleShips verifies one planned file's read buffers and groups its
+// entries into per-pane payloads, in plan (entry) order. ok is false when
+// anything is damaged — CRC mismatch (crcFailed then reports it), an
+// extent outside its run, a bad inflate, a short payload: the whole file
+// must be skipped with nothing shipped, matching the scan path's
+// semantics so a restart never mixes verified and unverified panes from
+// one file. Pure with respect to the server (safe to call with
+// worker-filled buffers after the handoff).
+func assembleShips(plan catalog.FilePlan, runs []catalog.Run, bufs [][]byte, round *readRound) (ships []paneShip, crcFailed, ok bool) {
 	stored := make([][]byte, len(plan.Entries))
 	ri := 0
 	for i := range plan.Entries {
@@ -694,28 +756,18 @@ func (s *server) shipPlan(name string, round *readRound, plan catalog.FilePlan) 
 			ri++
 		}
 		if ri == len(runs) || e.Offset < runs[ri].Offset || e.Offset+e.Length > runs[ri].Offset+runs[ri].Length {
-			s.m.FilesSkipped++
-			s.mx.filesSkipped.Inc()
-			return
+			return nil, false, false
 		}
 		b := bufs[ri][e.Offset-runs[ri].Offset : e.Offset-runs[ri].Offset+e.Length]
 		if e.HasCRC && hdf.Checksum(b) != e.CRC {
-			// Same accounting as the reader path: the snapshot was damaged
-			// after commit; skip the whole file so the restart recovers the
-			// panes elsewhere or falls back a generation.
-			s.mx.checksumFails.Inc()
-			s.m.FilesSkipped++
-			s.mx.filesSkipped.Inc()
-			return
+			// The snapshot was damaged after commit; skip the whole file
+			// so the restart recovers the panes elsewhere or falls back a
+			// generation.
+			return nil, true, false
 		}
 		stored[i] = b
 	}
-
-	type paneData struct {
-		owner int
-		sets  []roccom.IOSet
-	}
-	panes := make(map[int]*paneData)
+	panes := make(map[int]*paneShip)
 	var order []int
 	for i := range plan.Entries {
 		e := &plan.Entries[i]
@@ -725,58 +777,88 @@ func (s *server) shipPlan(name string, round *readRound, plan catalog.FilePlan) 
 		}
 		data := stored[i]
 		if e.Compressed {
+			var err error
 			if data, err = hdf.InflateStored(data, logical); err != nil {
-				s.m.FilesSkipped++
-				s.mx.filesSkipped.Inc()
-				return
+				return nil, false, false
 			}
 		} else if int64(len(data)) != logical {
-			s.m.FilesSkipped++
-			s.mx.filesSkipped.Inc()
-			return
+			return nil, false, false
 		}
-		pd, ok := panes[e.Pane]
-		if !ok {
-			pd = &paneData{owner: round.wantAll[e.Pane]}
+		pd, seen := panes[e.Pane]
+		if !seen {
+			pd = &paneShip{owner: round.wantAll[e.Pane]}
 			panes[e.Pane] = pd
 			order = append(order, e.Pane)
 		}
 		pd.sets = append(pd.sets, roccom.IOSet{Name: e.Name, Type: e.Type, Dims: e.Dims, Attrs: e.Attrs, Data: data})
 	}
+	ships = make([]paneShip, 0, len(order))
 	for _, id := range order {
-		pd := panes[id]
-		s.world.Send(pd.owner, tagReadBlock, roccom.EncodeIOSets(pd.sets))
-		s.m.ReadsServed++
-		s.mx.readsServed.Inc()
+		ships = append(ships, *panes[id])
 	}
+	return ships, false, true
 }
 
-// scanFile walks one snapshot file, groups datasets by pane, and sends
-// each requested pane of the window to its owner. Every dataset access
-// goes through the library's lookup path, so the HDF4 profile's
-// degradation with dataset count is charged faithfully.
-func (s *server) scanFile(name, window string, round *readRound) {
-	r, err := hdf.Open(s.ctx.FS(), name, s.ctx.Clock(), s.cfg.Profile)
+// shipPlan serves one file's planned extents with direct offset reads: no
+// directory parse, no per-dataset lookup cost — the catalog already knows
+// where everything is. Adjacent extents coalesce into single reads. On any
+// damage (CRC mismatch, short read, bad inflate) the whole file is skipped
+// before anything ships, and the discarded bytes are accounted as wasted,
+// not read.
+func (s *server) shipPlan(name string, round *readRound, plan catalog.FilePlan) {
+	readT0 := s.ctx.Clock().Now()
+	f, err := s.ctx.FS().Open(name)
 	if err != nil {
-		// A snapshot file without a valid directory is what a crashed
-		// server leaves behind; skip it — the panes it holds either also
-		// exist in a surviving server's file (resent after failover) or
-		// the restart reports the snapshot incomplete and the caller
-		// falls back to the previous one.
-		s.m.FilesSkipped++
-		s.mx.filesSkipped.Inc()
+		s.skipFile(0)
 		return
 	}
-	r.Metrics = s.cfg.Metrics
-	defer r.Close()
+	defer f.Close()
 	s.m.FilesOpened++
 	s.mx.filesOpened.Inc()
 
-	type paneData struct {
-		owner int
-		sets  []roccom.IOSet
+	runs := catalog.Coalesce(plan.Entries, 0)
+	bufs := make([][]byte, len(runs))
+	var read int64
+	for i, run := range runs {
+		bufs[i] = make([]byte, run.Length)
+		if _, err := f.ReadAt(bufs[i], run.Offset); err != nil {
+			s.skipFile(read)
+			return
+		}
+		read += run.Length
 	}
-	panes := make(map[int]*paneData)
+	s.cfg.Trace.Record(s.traceRank(), trace.PhaseRead, readT0, s.ctx.Clock().Now())
+
+	ships, crcFailed, ok := assembleShips(plan, runs, bufs, round)
+	if crcFailed {
+		s.mx.checksumFails.Inc()
+	}
+	if !ok {
+		s.skipFile(read)
+		return
+	}
+	s.noteRestartBytes(read)
+	s.sendShips(ships)
+}
+
+// collectScanFile walks one snapshot file and assembles the requested
+// panes of the window into ship-ready payloads, without sending anything.
+// Shared by the serial scan path and the read workers, which run it with
+// their own clock and filesystem view so the profile's per-dataset lookup
+// costs charge to the walking process. bytesRead counts payload bytes
+// pulled from the file whether or not the walk succeeded; failed means the
+// whole file must be skipped (unopenable — what a crashed server leaves
+// behind — or damaged mid-walk), with nothing shipped from it.
+func collectScanFile(fsys rt.FS, clock rt.Clock, profile hdf.CostProfile, reg *metrics.Registry,
+	name, window string, round *readRound) (ships []paneShip, bytesRead int64, opened, failed bool) {
+	r, err := hdf.Open(fsys, name, clock, profile)
+	if err != nil {
+		return nil, 0, false, true
+	}
+	r.Metrics = reg
+	defer r.Close()
+
+	panes := make(map[int]*paneShip)
 	var order []int
 	for _, d := range r.Datasets() {
 		win, paneID, _, ok := roccom.ParseDatasetName(d.Name)
@@ -795,29 +877,41 @@ func (s *server) scanFile(name, window string, round *readRound) {
 		data, err := r.ReadData(ds)
 		if err != nil {
 			// A checksum mismatch (or read failure) in a committed file:
-			// the snapshot was damaged after commit. Skip the whole file
-			// — nothing from it has been shipped yet — so the restart
-			// either recovers the panes from another server's file or
-			// reports the snapshot incomplete, sending the caller back a
-			// generation.
-			s.m.FilesSkipped++
-			s.mx.filesSkipped.Inc()
-			return
+			// damaged after commit. The whole file is skipped — nothing
+			// has been shipped yet — so the restart either recovers the
+			// panes from another server's file or reports the snapshot
+			// incomplete, sending the caller back a generation.
+			return nil, bytesRead, true, true
 		}
-		s.m.RestartBytes += int64(len(data))
-		s.mx.restartBytes.Add(int64(len(data)))
+		bytesRead += int64(len(data))
 		pd, ok := panes[paneID]
 		if !ok {
-			pd = &paneData{owner: owner}
+			pd = &paneShip{owner: owner}
 			panes[paneID] = pd
 			order = append(order, paneID)
 		}
 		pd.sets = append(pd.sets, roccom.IOSet{Name: ds.Name, Type: ds.Type, Dims: ds.Dims, Attrs: ds.Attrs, Data: data})
 	}
+	ships = make([]paneShip, 0, len(order))
 	for _, id := range order {
-		pd := panes[id]
-		s.world.Send(pd.owner, tagReadBlock, roccom.EncodeIOSets(pd.sets))
-		s.m.ReadsServed++
-		s.mx.readsServed.Inc()
+		ships = append(ships, *panes[id])
 	}
+	return ships, bytesRead, true, false
+}
+
+// scanFile serves one directory-scan fallback file on the request loop.
+func (s *server) scanFile(name, window string, round *readRound) {
+	readT0 := s.ctx.Clock().Now()
+	ships, read, opened, failed := collectScanFile(s.ctx.FS(), s.ctx.Clock(), s.cfg.Profile, s.cfg.Metrics, name, window, round)
+	s.cfg.Trace.Record(s.traceRank(), trace.PhaseRead, readT0, s.ctx.Clock().Now())
+	if opened {
+		s.m.FilesOpened++
+		s.mx.filesOpened.Inc()
+	}
+	if failed {
+		s.skipFile(read)
+		return
+	}
+	s.noteRestartBytes(read)
+	s.sendShips(ships)
 }
