@@ -27,6 +27,7 @@ func main() {
 	servers := flag.Int("servers", 1, "Rocpanda I/O server count")
 	async := flag.Bool("async", false, "Rocpanda: drain buffers on background writer tasks (overlap writeback with computation)")
 	pread := flag.Bool("pread", false, "Rocpanda: serve restart reads from a parallel read-worker pool (overlap disk reads with shipping)")
+	replicate := flag.Int("replicate", 1, "Rocpanda: copies of each pane per snapshot generation; R>=2 survives file loss without a generation fallback")
 	steps := flag.Int("steps", 20, "timesteps")
 	snapEvery := flag.Int("snap-every", 10, "snapshot interval in steps")
 	scale := flag.Float64("scale", 0.05, "lab-scale mesh scale in (0,1]")
@@ -69,11 +70,12 @@ func main() {
 		FluidSolver:       *fluid,
 		SolidSolver:       *solid,
 		Rocpanda: genxio.RocpandaConfig{
-			NumServers:      *servers,
-			ActiveBuffering: true,
-			AsyncDrain:      *async,
-			DrainWriters:    2,
-			ParallelRead:    *pread,
+			NumServers:        *servers,
+			ActiveBuffering:   true,
+			AsyncDrain:        *async,
+			DrainWriters:      2,
+			ParallelRead:      *pread,
+			ReplicationFactor: *replicate,
 		},
 	}
 	switch *burn {
@@ -122,6 +124,11 @@ func main() {
 			s.Counters["rocpanda.restart.catalog_fallbacks"],
 			s.Counters["rocpanda.restart.files_opened"],
 			float64(s.Counters["rocpanda.restart.bytes_read"])/1e6)
+		// Server-side totals, not per-client: a pane is repaired once for
+		// everyone.
+		if rr, rp := s.Counters["rocpanda.restart.replica_reads"], s.Counters["rocpanda.restart.repaired_panes"]; rr > 0 || rp > 0 || *replicate > 1 {
+			fmt.Printf("  replicas: %d panes repaired, %d served from replica copies\n", rp, rr)
+		}
 		if *pread {
 			fmt.Printf("  read pool: queue peak %.0f, %d backpressure waits, %d errors, %.1f MB wasted\n",
 				s.Gauges["rocpanda.read.queue_depth"],

@@ -6,13 +6,28 @@
 //
 // Usage:
 //
-//	genxfsck [-root DIR] [-prefix PFX] [-json]
+//	genxfsck [-root DIR] [-prefix PFX] [-json] [-quick] [-repair]
 //
 // The scrub walks the generations under -root joined with -prefix (for
-// example -root out -prefix "" scrubs out/snap*). Exit status is 0 when
-// every committed generation verifies, 1 when any generation is corrupt,
-// 2 on usage or I/O errors. Uncommitted generations — crash residue the
-// restart path already ignores — are reported but are not failures.
+// example -root out -prefix "" scrubs out/snap*).
+//
+// -repair rebuilds corrupt or missing files of replicated generations
+// from verified surviving copies (byte-identical replicas pinned by the
+// manifest), staging each rebuild to a temporary file and renaming it
+// into place; a damaged catalog blob is re-derived from the repaired
+// files and installed only if it matches the manifest's pinned size and
+// CRC. Generations fully restored this way report the verdict REPAIRED
+// and count as clean. -repair implies the full payload scrub and cannot
+// be combined with -quick.
+//
+// Exit status encodes the worst verdict found:
+//
+//	0  every committed generation verifies (OK / REPAIRED)
+//	1  only UNCOMMITTED generations are unclean (crash residue the
+//	   restart path already ignores)
+//	2  some generation is CORRUPT or CATALOG-MISMATCH (and, with
+//	   -repair, could not be fully repaired)
+//	3  usage or I/O errors
 package main
 
 import (
@@ -26,32 +41,48 @@ import (
 	"genxio/internal/snapshot"
 )
 
+// Exit codes, worst verdict wins.
+const (
+	exitOK          = 0
+	exitUncommitted = 1
+	exitCorrupt     = 2
+	exitUsage       = 3
+)
+
 func main() {
 	root := flag.String("root", ".", "directory holding the snapshot files")
 	prefix := flag.String("prefix", "", "scrub only generations whose base starts with this prefix (relative to -root)")
 	jsonOut := flag.Bool("json", false, "emit the scrub report as JSON")
 	quick := flag.Bool("quick", false, "verify manifests, sizes and directory checksums only; skip the payload scrub")
+	repair := flag.Bool("repair", false, "rebuild corrupt or missing files from verified replicas before reporting")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "genxfsck: unexpected arguments %v\n", flag.Args())
-		os.Exit(2)
+		os.Exit(exitUsage)
+	}
+	if *repair && *quick {
+		fmt.Fprintln(os.Stderr, "genxfsck: -repair needs the full payload scrub; drop -quick")
+		os.Exit(exitUsage)
 	}
 
 	fsys, err := rt.NewOSFS(*root)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "genxfsck: %v\n", err)
-		os.Exit(2)
+		os.Exit(exitUsage)
 	}
 
 	var reports []snapshot.GenReport
-	if *quick {
+	switch {
+	case *repair:
+		reports, err = snapshot.Repair(fsys, *prefix)
+	case *quick:
 		reports, err = quickScrub(fsys, *prefix)
-	} else {
+	default:
 		reports, err = snapshot.Fsck(fsys, *prefix)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "genxfsck: %v\n", err)
-		os.Exit(2)
+		os.Exit(exitUsage)
 	}
 
 	if *jsonOut {
@@ -59,7 +90,7 @@ func main() {
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(reports); err != nil {
 			fmt.Fprintf(os.Stderr, "genxfsck: %v\n", err)
-			os.Exit(2)
+			os.Exit(exitUsage)
 		}
 	} else {
 		fmt.Print(snapshot.Format(reports))
@@ -67,9 +98,22 @@ func main() {
 	if len(reports) == 0 {
 		fmt.Fprintf(os.Stderr, "genxfsck: no snapshot generations under %s\n", *root)
 	}
-	if !snapshot.Clean(reports) {
-		os.Exit(1)
+	os.Exit(exitCode(reports))
+}
+
+// exitCode maps the reports to the documented severity scheme: corrupt
+// beats uncommitted beats clean.
+func exitCode(reports []snapshot.GenReport) int {
+	code := exitOK
+	for _, rep := range reports {
+		switch rep.Verdict {
+		case snapshot.VerdictCorrupt, snapshot.VerdictCatalogMismatch:
+			return exitCorrupt
+		case snapshot.VerdictUncommitted:
+			code = exitUncommitted
+		}
 	}
+	return code
 }
 
 // quickScrub is the manifest-level verification: Load + Verify per

@@ -23,6 +23,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"strings"
 
 	"genxio/internal/hdf"
 	"genxio/internal/roccom"
@@ -286,6 +287,40 @@ func Load(fsys rt.FS, base string) (*Catalog, error) {
 	return Decode(blob)
 }
 
+// ReplicaRank reports which copy of a server's output a snapshot file
+// holds: 0 for a primary ("base_s000.rhdf"), r ≥ 1 for the r-th replica
+// ("base_s000r1.rhdf" — server 0's file set carrying a replica written by
+// another server). Per-rank files ("base_p00000.rhdf") and anything that
+// does not follow the server-file grammar have no replicas and rank 0.
+func ReplicaRank(name string) int {
+	n, ok := strings.CutSuffix(name, ".rhdf")
+	if !ok {
+		return 0
+	}
+	i := strings.LastIndexByte(n, '_')
+	if i < 0 || i+2 >= len(n) || n[i+1] != 's' {
+		return 0
+	}
+	tail := n[i+2:]
+	j := strings.IndexByte(tail, 'r')
+	if j <= 0 || j == len(tail)-1 {
+		return 0
+	}
+	for _, c := range tail[:j] {
+		if c < '0' || c > '9' {
+			return 0
+		}
+	}
+	r := 0
+	for _, c := range tail[j+1:] {
+		if c < '0' || c > '9' {
+			return 0
+		}
+		r = r*10 + int(c-'0')
+	}
+	return r
+}
+
 // Panes returns the sorted set of pane IDs present in a window — the
 // generation's pane universe, the input to the repartitioner.
 func (c *Catalog) Panes(window string) []int {
@@ -312,17 +347,19 @@ type FilePlan struct {
 
 // PlanReads builds per-file read plans covering the wanted panes of a
 // window. When a pane appears in more than one file (failover re-ships
-// blocks to an adopting server), only the earliest-indexed file's copy is
-// planned, mirroring the scan path's first-arrival dedup. Plans come back
-// in file-index order with entries sorted by offset.
+// blocks to an adopting server, or replication writes extra copies), only
+// one copy is planned: a primary over any replica, and among files of the
+// same replica rank the earliest-indexed one, mirroring the scan path's
+// first-arrival dedup. Plans come back in file-index order with entries
+// sorted by offset.
 func (c *Catalog) PlanReads(window string, wanted map[int]bool) []FilePlan {
-	fileOf := make(map[int]int) // pane → earliest file index holding it
+	fileOf := make(map[int]int) // pane → preferred file index holding it
 	for i := range c.Entries {
 		e := &c.Entries[i]
 		if e.Window != window || !wanted[e.Pane] {
 			continue
 		}
-		if cur, ok := fileOf[e.Pane]; !ok || e.File < cur {
+		if cur, ok := fileOf[e.Pane]; !ok || c.betterSource(e.File, cur) {
 			fileOf[e.Pane] = e.File
 		}
 	}
@@ -339,6 +376,46 @@ func (c *Catalog) PlanReads(window string, wanted map[int]bool) []FilePlan {
 		idxs = append(idxs, idx)
 	}
 	sort.Ints(idxs)
+	plans := make([]FilePlan, 0, len(idxs))
+	for _, idx := range idxs {
+		ents := byFile[idx]
+		sort.Slice(ents, func(a, b int) bool { return ents[a].Offset < ents[b].Offset })
+		plans = append(plans, FilePlan{File: c.Files[idx], Entries: ents})
+	}
+	return plans
+}
+
+// betterSource reports whether file index a is a strictly better source
+// than b: lower replica rank wins (primaries before replicas), then lower
+// file index for determinism.
+func (c *Catalog) betterSource(a, b int) bool {
+	ra, rb := ReplicaRank(c.Files[a]), ReplicaRank(c.Files[b])
+	if ra != rb {
+		return ra < rb
+	}
+	return a < b
+}
+
+// PaneSources returns every file holding a copy of a pane's datasets, as
+// single-file plans ordered best-first: primaries before replicas, lower
+// file index first within a rank, entries offset-sorted. The restart read
+// path walks this list when a planned copy fails its open/read/CRC —
+// deterministic retry order, so every server agrees on which copy repairs
+// a pane.
+func (c *Catalog) PaneSources(window string, pane int) []FilePlan {
+	byFile := make(map[int][]Entry)
+	for i := range c.Entries {
+		e := &c.Entries[i]
+		if e.Window != window || e.Pane != pane {
+			continue
+		}
+		byFile[e.File] = append(byFile[e.File], *e)
+	}
+	idxs := make([]int, 0, len(byFile))
+	for idx := range byFile {
+		idxs = append(idxs, idx)
+	}
+	sort.Slice(idxs, func(a, b int) bool { return c.betterSource(idxs[a], idxs[b]) })
 	plans := make([]FilePlan, 0, len(idxs))
 	for _, idx := range idxs {
 		ents := byFile[idx]

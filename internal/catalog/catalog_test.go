@@ -127,6 +127,83 @@ func TestPlanReadsDedupsAcrossFiles(t *testing.T) {
 	}
 }
 
+func TestReplicaRank(t *testing.T) {
+	cases := map[string]int{
+		"run/snap000010_s000.rhdf":    0,
+		"run/snap000010_s000r1.rhdf":  1,
+		"run/snap000010_s001r2.rhdf":  2,
+		"run/snap000010_s012r10.rhdf": 10,
+		"run/snap000010_p00003.rhdf":  0, // per-rank files have no replicas
+		"run/snap000010_s000r.rhdf":   0, // malformed: empty replica digits
+		"run/snap000010_sr1.rhdf":     0, // malformed: empty server digits
+		"run/snap000010_s0x0r1.rhdf":  0, // malformed: non-digit server part
+		"run/snap000010.manifest":     0,
+		"plain.txt":                   0,
+	}
+	for name, want := range cases {
+		if got := ReplicaRank(name); got != want {
+			t.Errorf("ReplicaRank(%q) = %d, want %d", name, got, want)
+		}
+	}
+}
+
+// replicatedCatalog indexes a primary pair plus a byte-identical replica
+// of server 1's file homed at server 0. The replica sorts lexically before
+// the primary it copies — exactly the commit-time file order — so these
+// tests prove the planner prefers by replica rank, not by file index.
+func replicatedCatalog(t *testing.T, fsys rt.FS) *Catalog {
+	t.Helper()
+	c := &Catalog{}
+	s1 := map[string][]byte{
+		"/fluid/pane000003/pressure": []byte("dddd"),
+		"/fluid/pane000004/pressure": []byte("eeee"),
+	}
+	c.AddFile("snap_s000.rhdf", writeRHDF(t, fsys, "snap_s000.rhdf", map[string][]byte{
+		"/fluid/pane000001/pressure": []byte("aaaa"),
+	}))
+	c.AddFile("snap_s000r1.rhdf", writeRHDF(t, fsys, "snap_s000r1.rhdf", s1))
+	c.AddFile("snap_s001.rhdf", writeRHDF(t, fsys, "snap_s001.rhdf", s1))
+	return c
+}
+
+func TestPlanReadsPrefersPrimaryOverReplica(t *testing.T) {
+	fsys := rt.NewMemFS()
+	c := replicatedCatalog(t, fsys)
+	plans := c.PlanReads("fluid", map[int]bool{1: true, 3: true, 4: true})
+	if len(plans) != 2 {
+		t.Fatalf("got %d plans, want 2: %+v", len(plans), plans)
+	}
+	if plans[0].File != "snap_s000.rhdf" || plans[1].File != "snap_s001.rhdf" {
+		t.Fatalf("planned files %s, %s — a healthy plan must never read a replica",
+			plans[0].File, plans[1].File)
+	}
+	if len(plans[1].Entries) != 2 {
+		t.Fatalf("primary snap_s001 planned %d entries, want 2", len(plans[1].Entries))
+	}
+}
+
+func TestPaneSourcesOrdersPrimariesFirst(t *testing.T) {
+	fsys := rt.NewMemFS()
+	c := replicatedCatalog(t, fsys)
+	srcs := c.PaneSources("fluid", 3)
+	if len(srcs) != 2 {
+		t.Fatalf("got %d sources, want 2: %+v", len(srcs), srcs)
+	}
+	if srcs[0].File != "snap_s001.rhdf" || srcs[1].File != "snap_s000r1.rhdf" {
+		t.Fatalf("source order %s, %s — want primary first", srcs[0].File, srcs[1].File)
+	}
+	for _, src := range srcs {
+		for _, e := range src.Entries {
+			if e.Pane != 3 {
+				t.Fatalf("source %s carries pane %d entry", src.File, e.Pane)
+			}
+		}
+	}
+	if srcs := c.PaneSources("fluid", 99); len(srcs) != 0 {
+		t.Fatalf("unknown pane has %d sources", len(srcs))
+	}
+}
+
 func TestCoalesce(t *testing.T) {
 	ents := []Entry{
 		{Offset: 0, Length: 10},
@@ -159,6 +236,43 @@ func TestRepartitionDeterministic(t *testing.T) {
 	}
 	if Repartition([]int{1}, 0) != nil {
 		t.Fatal("n=0 should return nil")
+	}
+}
+
+func TestRepartitionMoreRanksThanPanes(t *testing.T) {
+	// A restart with more servers than the writing run had panes: each of
+	// the first len(panes) ranks gets exactly one pane, the rest get none
+	// and must still participate in the collective without reading.
+	got := Repartition([]int{30, 10, 20}, 8)
+	if len(got) != 8 {
+		t.Fatalf("got %d shares, want 8", len(got))
+	}
+	want := [][]int{{10}, {20}, {30}}
+	for i, w := range want {
+		if !reflect.DeepEqual(got[i], w) {
+			t.Fatalf("share %d = %v, want %v", i, got[i], w)
+		}
+	}
+	for i := 3; i < 8; i++ {
+		if got[i] != nil {
+			t.Fatalf("share %d = %v, want empty", i, got[i])
+		}
+	}
+}
+
+func TestRepartitionZeroPanes(t *testing.T) {
+	// An empty universe (nothing committed in the window) still yields one
+	// well-formed empty share per rank, for both nil and empty inputs.
+	for _, ids := range [][]int{nil, {}} {
+		got := Repartition(ids, 3)
+		if len(got) != 3 {
+			t.Fatalf("Repartition(%v, 3) has %d shares", ids, len(got))
+		}
+		for i, share := range got {
+			if len(share) != 0 {
+				t.Fatalf("share %d = %v, want empty", i, share)
+			}
+		}
 	}
 }
 

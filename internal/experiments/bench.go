@@ -27,8 +27,11 @@ import (
 // rocpanda-pread entry (the parallel restart read engine) plus the
 // rocpanda.read.* metrics (queue_depth, backpressure_waits,
 // overlap_seconds, errors), rocpanda.restart.bytes_wasted, and
-// rocpanda.drain.flush_seconds.
-const BenchSchema = "genxio-bench/v5"
+// rocpanda.drain.flush_seconds. v6 added the rocpanda-r2 entry
+// (pane replication at R=2, measuring the write amplification replicas
+// cost) and the replica restart counters
+// (rocpanda.restart.replica_reads, .repaired_panes).
+const BenchSchema = "genxio-bench/v6"
 
 // BenchOpts configures the observability bench: one small integrated run
 // per I/O module on the simulated Turing platform, with a metrics
@@ -103,19 +106,25 @@ func RunBench(opts BenchOpts) (*BenchResult, error) {
 		kind  rocman.IOKind
 		async bool
 		pread bool
+		repl  int
 	}{
-		{"rochdf", rocman.IORochdf, false, false},
-		{"trochdf", rocman.IOTRochdf, false, false},
-		{"rocpanda", rocman.IORocpanda, false, false},
+		{"rochdf", rocman.IORochdf, false, false, 0},
+		{"trochdf", rocman.IOTRochdf, false, false, 0},
+		{"rocpanda", rocman.IORocpanda, false, false, 0},
 		// The same workload with the background drain engine: writeback
 		// overlaps the clients' computation, so visible write and sync
 		// costs drop at byte-identical output.
-		{"rocpanda-async", rocman.IORocpanda, true, false},
+		{"rocpanda-async", rocman.IORocpanda, true, false, 0},
 		// And with the parallel restart read engine: each server's restart
 		// share is read by a worker pool, so the per-process stream pacing
 		// of the simulated NFS overlaps and the measured restart (visible
 		// read) drops at bit-identical restored state.
-		{"rocpanda-pread", rocman.IORocpanda, false, true},
+		{"rocpanda-pread", rocman.IORocpanda, false, true, 0},
+		// And with pane replication at R=2: every server also writes a
+		// byte-identical replica of its file to another server's home, so
+		// a lost or corrupt primary restarts from the same generation.
+		// This entry prices that availability as write amplification.
+		{"rocpanda-r2", rocman.IORocpanda, false, false, 2},
 	}
 	for _, ent := range entries {
 		kind := ent.kind
@@ -152,6 +161,9 @@ func RunBench(opts BenchOpts) (*BenchResult, error) {
 				cfg.Rocpanda.ParallelRead = true
 				cfg.Rocpanda.ReadWorkers = 4
 				cfg.Rocpanda.ReadBudgetBytes = 256 << 20
+			}
+			if ent.repl > 1 {
+				cfg.Rocpanda.ReplicationFactor = ent.repl
 			}
 			total += m
 		}
@@ -214,6 +226,12 @@ func (r *BenchResult) Format() string {
 				s.Counters["rocpanda.read.backpressure_waits"],
 				s.Counters["rocpanda.read.errors"],
 				float64(s.Counters["rocpanda.restart.bytes_read"])/1e6)
+		case "rocpanda-r2":
+			d := s.Histograms["rocpanda.server.drain_seconds"]
+			fmt.Fprintf(&b, "%-10s drained %d blocks (%.3fs total, primaries + replicas), %d panes repaired, %d replica reads\n",
+				io.IO, d.Count, d.Sum,
+				s.Counters["rocpanda.restart.repaired_panes"],
+				s.Counters["rocpanda.restart.replica_reads"])
 		case string(rocman.IORocpanda):
 			d := s.Histograms["rocpanda.server.drain_seconds"]
 			fmt.Fprintf(&b, "%-10s drained %d blocks (%.3fs total), buffer peak %.0f bytes, %d overflow stalls, %d restart reads served\n",

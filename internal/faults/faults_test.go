@@ -103,6 +103,30 @@ func TestNetVerdictNthAndWildcards(t *testing.T) {
 	}
 }
 
+func TestPartitionDropsBothDirections(t *testing.T) {
+	plan := NewNetPlan(1, Partition(2, 5)...)
+	// Every message between the partitioned pair dies, any tag, forever.
+	for n := 0; n < 3; n++ {
+		if v := plan.Verdict(2, 5, 42+n, 10); !v.Drop {
+			t.Fatalf("message %d from 2 to 5 delivered across the partition", n)
+		}
+		if v := plan.Verdict(5, 2, 7+n, 10); !v.Drop {
+			t.Fatalf("message %d from 5 to 2 delivered across the partition", n)
+		}
+	}
+	// Traffic not crossing the cut is untouched, including each side
+	// talking to third parties.
+	if v := plan.Verdict(2, 3, 42, 10); v.Drop {
+		t.Fatal("message from 2 to 3 dropped, want delivered")
+	}
+	if v := plan.Verdict(5, 0, 42, 10); v.Drop {
+		t.Fatal("message from 5 to 0 dropped, want delivered")
+	}
+	if v := plan.Verdict(0, 1, 42, 10); v.Drop {
+		t.Fatal("bystander message dropped")
+	}
+}
+
 func TestNetDelayVerdict(t *testing.T) {
 	plan := NewNetPlan(1, NetRule{Src: 1, Dst: -1, Tag: -1, Nth: 1, Delay: 0.25})
 	v := plan.Verdict(1, 9, 5, 0)

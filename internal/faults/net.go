@@ -90,6 +90,17 @@ func (p *NetPlan) Verdict(src, dst, tag, size int) mpi.SendVerdict {
 	return mpi.SendVerdict{}
 }
 
+// Partition returns the rule pair that cuts ranks a and b off from each
+// other: every message between them, in either direction and on any tag,
+// is dropped. Append the pair to a plan's Rules (or splat it into
+// NewNetPlan) instead of hand-building the two directional rules.
+func Partition(a, b int) []NetRule {
+	return []NetRule{
+		{Src: a, Dst: b, Tag: -1, Drop: true},
+		{Src: b, Dst: a, Tag: -1, Drop: true},
+	}
+}
+
 // Hook adapts the plan to mpi.ChanWorld's send hook.
 func (p *NetPlan) Hook() mpi.SendHook {
 	return func(src, dst, tag, size int) mpi.SendVerdict {

@@ -153,7 +153,9 @@ type readEngine struct {
 	// Server-goroutine-only state.
 	files   []*readFile
 	tasks   []*readTask
-	shipped bool // something left this server already (overlap accounting)
+	cat     *catalog.Catalog // nil in scan-fallback rounds (no index of copies)
+	bad     map[string]bool  // files that failed an open; retries skip them
+	shipped bool             // something left this server already (overlap accounting)
 	exited  int
 	crashed bool
 	closed  bool
@@ -163,7 +165,7 @@ type readEngine struct {
 // the workers. Planned files get their run buffers allocated here, split
 // into chunk tasks; scan files are one task each, budget-costed by file
 // size.
-func newReadEngine(s *server, window string, round *readRound, items []readItem) *readEngine {
+func newReadEngine(s *server, window string, round *readRound, items []readItem, cat *catalog.Catalog, badFiles map[string]bool) *readEngine {
 	nw := s.cfg.ReadWorkers
 	if nw <= 0 {
 		nw = defaultReadWorkers
@@ -178,6 +180,8 @@ func newReadEngine(s *server, window string, round *readRound, items []readItem)
 		budget: s.cfg.ReadBudgetBytes,
 		window: window,
 		round:  round,
+		cat:    cat,
+		bad:    badFiles,
 	}
 	for _, it := range items {
 		fi := len(e.files)
@@ -222,8 +226,8 @@ func newReadEngine(s *server, window string, round *readRound, items []readItem)
 // Runs on the server goroutine; returns only after every worker has
 // exited. If a worker hit an injected crash the server process dies with
 // it, exactly as the serial path's maybeCrash would.
-func (s *server) runReadPool(window string, round *readRound, items []readItem) {
-	e := newReadEngine(s, window, round, items)
+func (s *server) runReadPool(window string, round *readRound, items []readItem, cat *catalog.Catalog, badFiles map[string]bool) {
+	e := newReadEngine(s, window, round, items, cat, badFiles)
 	defer e.close()
 	e.run()
 	e.close()
@@ -330,6 +334,7 @@ func (e *readEngine) consume(r readResult) {
 	}
 	if f.failed {
 		s.skipFile(f.read)
+		e.retry(f)
 		return
 	}
 	ships, crcFailed, ok := assembleShips(f.plan, f.runs, f.bufs, e.round)
@@ -338,11 +343,28 @@ func (e *readEngine) consume(r readResult) {
 	}
 	if !ok {
 		s.skipFile(f.read)
+		e.retry(f)
 		return
 	}
 	s.noteRestartBytes(f.read)
 	s.sendShips(ships)
 	if len(ships) > 0 {
+		e.shipped = true
+	}
+}
+
+// retry recovers a failed planned file's panes from their other copies on
+// the server goroutine, while the workers keep reading the round's
+// remaining files. Scan-fallback files carry no plan (their panes are
+// unknown until read), and a round without a catalog has no index of
+// copies — in both cases the listing itself already covers every replica,
+// so there is nothing more to do here.
+func (e *readEngine) retry(f *readFile) {
+	if e.cat == nil || f.scan {
+		return
+	}
+	e.bad[f.name] = true
+	if e.s.recoverPanes(e.cat, e.window, e.round, f.plan, e.bad) > 0 {
 		e.shipped = true
 	}
 }

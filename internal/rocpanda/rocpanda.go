@@ -107,6 +107,17 @@ type Config struct {
 	// complete first. 0 means unbounded; a one-byte budget degenerates to
 	// serial reads.
 	ReadBudgetBytes int64
+	// ReplicationFactor is the number of copies of each pane block the
+	// servers keep per generation. With R >= 2 every server writes its
+	// blocks to its primary file and to R-1 byte-identical replica files
+	// homed at the other servers' file sets (base_sHHHrN.rhdf), routed
+	// through the same sink or writer pool as the primaries. At restart a
+	// failed open, read, or CRC on any planned copy retries the affected
+	// panes against the remaining copies (rocpanda.restart.replica_reads,
+	// .repaired_panes), so a generation falls back only when some pane is
+	// bad in every copy. <= 1 writes primaries only, byte-identical to
+	// the unreplicated layout.
+	ReplicationFactor int
 	// MemcpyBW is the server's buffer-copy bandwidth (bytes/s) charged
 	// per buffered block on simulated platforms; <= 0 charges nothing.
 	MemcpyBW float64

@@ -46,6 +46,10 @@ type ServerMetrics struct {
 	ReadOverlapSeconds    float64 // disk read time overlapped with shipping
 	ReadErrors            int     // failed listings and files skipped mid-round
 	WastedBytes           int64   // bytes read from files that never shipped
+
+	// Replica retries (Config.ReplicationFactor > 1).
+	ReplicaReads  int // panes served from a replica copy after a primary failed
+	RepairedPanes int // panes recovered from any other copy after a planned read failed
 }
 
 // serverCrashed is the panic sentinel of an injected server crash; run
@@ -133,6 +137,10 @@ type srvMx struct {
 	catalogHits      *metrics.Counter
 	catalogFallbacks *metrics.Counter
 	checksumFails    *metrics.Counter
+
+	// Replica retries (Config.ReplicationFactor > 1).
+	replicaReads  *metrics.Counter
+	repairedPanes *metrics.Counter
 }
 
 func newSrvMx(r *metrics.Registry) srvMx {
@@ -166,6 +174,9 @@ func newSrvMx(r *metrics.Registry) srvMx {
 		catalogHits:      r.Counter("rocpanda.restart.catalog_hits"),
 		catalogFallbacks: r.Counter("rocpanda.restart.catalog_fallbacks"),
 		checksumFails:    r.Counter("hdf.checksum_failures"),
+
+		replicaReads:  r.Counter("rocpanda.restart.replica_reads"),
+		repairedPanes: r.Counter("rocpanda.restart.repaired_panes"),
 	}
 }
 
@@ -325,7 +336,7 @@ func (s *server) handleWrite(src int) {
 	if err != nil {
 		panic(fmt.Sprintf("rocpanda: server %d: corrupt write header from rank %d (tag %d): %v", s.idx, src, tagWriteHdr, err))
 	}
-	fname := s.fileName(hdr.File)
+	fnames := s.copyNames(hdr.File)
 	for i := int32(0); i < hdr.NBlocks; i++ {
 		payload := s.recvExpect(src, tagWriteBlock, "write block")
 		sets, err := roccom.DecodeIOSets(payload)
@@ -333,39 +344,44 @@ func (s *server) handleWrite(src int) {
 			panic(fmt.Sprintf("rocpanda: server %d: corrupt write block %d/%d from rank %d (tag %d, %d bytes): %v",
 				s.idx, i+1, hdr.NBlocks, src, tagWriteBlock, len(payload), err))
 		}
-		blk := pendingBlock{fname: fname, sets: sets, bytes: int64(len(payload)), time: hdr.Time, step: hdr.Step}
-		if !s.cfg.ActiveBuffering {
-			if err := s.sink.write(blk); err != nil {
-				s.noteDrainErr(err)
+		// One pending block per copy: the primary plus any replicas, all
+		// through the same sink/engine machinery, so the buffered-byte and
+		// written-byte tallies honestly show the write amplification.
+		for _, fname := range fnames {
+			blk := pendingBlock{fname: fname, sets: sets, bytes: int64(len(payload)), time: hdr.Time, step: hdr.Step}
+			if !s.cfg.ActiveBuffering {
+				if err := s.sink.write(blk); err != nil {
+					s.noteDrainErr(err)
+				}
+				continue
 			}
-			continue
-		}
-		// Buffer at memory speed; the client's ack is delayed only by
-		// this copy, not by file I/O.
-		if s.cfg.MemcpyBW > 0 {
-			s.ctx.Clock().Compute(float64(blk.bytes) / s.cfg.MemcpyBW)
-		}
-		s.m.BlocksBuffered++
-		s.mx.blocksBuffered.Inc()
-		if s.engine != nil {
-			// Background drain: hand the block to the writer pool (which
-			// may stall here on the byte budget) and keep serving.
-			s.engine.enqueue(blk)
+			// Buffer at memory speed; the client's ack is delayed only by
+			// this copy, not by file I/O.
+			if s.cfg.MemcpyBW > 0 {
+				s.ctx.Clock().Compute(float64(blk.bytes) / s.cfg.MemcpyBW)
+			}
+			s.m.BlocksBuffered++
+			s.mx.blocksBuffered.Inc()
+			if s.engine != nil {
+				// Background drain: hand the block to the writer pool (which
+				// may stall here on the byte budget) and keep serving.
+				s.engine.enqueue(blk)
+				s.maybeCrash(faults.MidBuffer)
+				continue
+			}
+			s.buf = append(s.buf, blk)
+			s.bufBytes += blk.bytes
 			s.maybeCrash(faults.MidBuffer)
-			continue
-		}
-		s.buf = append(s.buf, blk)
-		s.bufBytes += blk.bytes
-		s.maybeCrash(faults.MidBuffer)
-		if s.bufBytes > s.m.MaxBufBytes {
-			s.m.MaxBufBytes = s.bufBytes
-		}
-		s.mx.bufBytesPeak.SetMax(float64(s.bufBytes))
-		// Graceful overflow: make room synchronously.
-		for s.cfg.BufferCapacity > 0 && s.bufBytes > s.cfg.BufferCapacity && len(s.buf) > 0 {
-			s.m.Overflows++
-			s.mx.overflowStalls.Inc()
-			s.drainOne()
+			if s.bufBytes > s.m.MaxBufBytes {
+				s.m.MaxBufBytes = s.bufBytes
+			}
+			s.mx.bufBytesPeak.SetMax(float64(s.bufBytes))
+			// Graceful overflow: make room synchronously.
+			for s.cfg.BufferCapacity > 0 && s.bufBytes > s.cfg.BufferCapacity && len(s.buf) > 0 {
+				s.m.Overflows++
+				s.mx.overflowStalls.Inc()
+				s.drainOne()
+			}
 		}
 	}
 	s.world.Send(src, tagWriteAck, nil)
@@ -386,6 +402,23 @@ func DebugWrites(on bool) { debugWrites.Store(on) }
 // fileName returns this server's file for a snapshot base name.
 func (s *server) fileName(base string) string {
 	return fmt.Sprintf("%s_s%03d.rhdf", base, s.idx)
+}
+
+// copyNames returns every file this server's blocks go to for a snapshot
+// base: the primary, then ReplicationFactor-1 replicas homed round-robin
+// at the *other* servers' file sets (base_sHHHrN.rhdf with H = (idx+N) mod
+// numServers) so losing one server's files costs replicas of at most one
+// copy of each pane. Each replica receives the exact block sequence of its
+// primary, so the two files are byte-identical — which is what lets the
+// restart read path and genxfsck -repair substitute one for the other
+// without any translation.
+func (s *server) copyNames(base string) []string {
+	names := []string{s.fileName(base)}
+	for r := 1; r < s.cfg.ReplicationFactor; r++ {
+		home := (s.idx + r) % s.numServers
+		names = append(names, fmt.Sprintf("%s_s%03dr%d.rhdf", base, home, r))
+	}
+	return names
 }
 
 // maybeCrash dies at point if the injected crash plan says so.
@@ -453,7 +486,7 @@ func (k *blockSink) write(blk pendingBlock) error {
 	s := k.s
 	w, ok := k.writers[blk.fname]
 	if !ok {
-		if err := k.closeAll(blk.fname); err != nil {
+		if err := k.closeAll(genBase(blk.fname)); err != nil {
 			return err
 		}
 		var err error
@@ -498,13 +531,27 @@ func (k *blockSink) write(blk pendingBlock) error {
 	return nil
 }
 
-// closeAll closes every open writer except the named one, returning the
-// first failure (all writers are closed and forgotten regardless — a
-// handle that failed its close is not worth retrying).
-func (k *blockSink) closeAll(except string) error {
+// genBase strips a snapshot file name to its generation base (everything
+// before the final "_sNNN[rM].rhdf" tail), the key sinks close by.
+func genBase(fname string) string {
+	if i := strings.LastIndexByte(fname, '_'); i >= 0 {
+		return fname[:i]
+	}
+	return fname
+}
+
+// closeAll closes every open writer except those of the named generation
+// base ("" closes everything), returning the first failure (all affected
+// writers are closed and forgotten regardless — a handle that failed its
+// close is not worth retrying). Closing by generation, not by file, keeps
+// a generation's primary and replica writers open side by side while its
+// copies interleave; collective writes are still ordered across
+// generations, so once a newer snapshot's data drains, the older
+// generation's files are complete and can close.
+func (k *blockSink) closeAll(exceptGen string) error {
 	names := make([]string, 0, len(k.writers))
 	for name := range k.writers {
-		if name != except {
+		if exceptGen == "" || genBase(name) != exceptGen {
 			names = append(names, name)
 		}
 	}
@@ -650,7 +697,9 @@ func (s *server) serveShare(file, window string, round *readRound, alive []int, 
 		}
 	}
 	var items []readItem
+	listed := make(map[string]bool, len(names))
 	for i, name := range names {
+		listed[name] = true
 		if i%len(alive) != pos {
 			continue // round-robin file assignment
 		}
@@ -670,14 +719,44 @@ func (s *server) serveShare(file, window string, round *readRound, alive []int, 
 		}
 		items = append(items, readItem{name: name, scan: true})
 	}
+	if catErr == nil {
+		// A planned file the listing no longer has (a lost primary) must
+		// still be attempted, or its panes would silently never ship and
+		// the whole generation would fall back even though replicas hold
+		// every byte. Deal the missing files round-robin too — sorted, so
+		// every server derives the same assignment from the same catalog —
+		// as ordinary planned items whose open failure triggers the
+		// per-pane replica retry.
+		var missing []string
+		for name := range planByFile {
+			if !listed[name] {
+				missing = append(missing, name)
+			}
+		}
+		sort.Strings(missing)
+		for j, name := range missing {
+			if j%len(alive) != pos {
+				continue
+			}
+			items = append(items, readItem{name: name, plan: planByFile[name]})
+		}
+	}
+	var ccat *catalog.Catalog
+	if catErr == nil {
+		ccat = cat
+	}
+	// Files that failed an open this round: a pane retry never re-reads
+	// them, so one lost file costs one failed open, not one per pane.
+	badFiles := make(map[string]bool)
 	if s.cfg.ParallelRead && len(items) > 0 {
-		s.runReadPool(window, round, items)
+		s.runReadPool(window, round, items, ccat, badFiles)
 	} else {
 		for _, it := range items {
 			if it.scan {
 				s.scanFile(it.name, window, round)
-			} else {
-				s.shipPlan(it.name, round, it.plan)
+			} else if !s.shipPlan(it.name, round, it.plan) {
+				badFiles[it.name] = true
+				s.recoverPanes(ccat, window, round, it.plan, badFiles)
 			}
 			s.maybeCrash(faults.MidRead)
 		}
@@ -804,13 +883,14 @@ func assembleShips(plan catalog.FilePlan, runs []catalog.Run, bufs [][]byte, rou
 // where everything is. Adjacent extents coalesce into single reads. On any
 // damage (CRC mismatch, short read, bad inflate) the whole file is skipped
 // before anything ships, and the discarded bytes are accounted as wasted,
-// not read.
-func (s *server) shipPlan(name string, round *readRound, plan catalog.FilePlan) {
+// not read; it returns false so the caller can retry the file's panes
+// against their other copies.
+func (s *server) shipPlan(name string, round *readRound, plan catalog.FilePlan) bool {
 	readT0 := s.ctx.Clock().Now()
 	f, err := s.ctx.FS().Open(name)
 	if err != nil {
 		s.skipFile(0)
-		return
+		return false
 	}
 	defer f.Close()
 	s.m.FilesOpened++
@@ -823,7 +903,7 @@ func (s *server) shipPlan(name string, round *readRound, plan catalog.FilePlan) 
 		bufs[i] = make([]byte, run.Length)
 		if _, err := f.ReadAt(bufs[i], run.Offset); err != nil {
 			s.skipFile(read)
-			return
+			return false
 		}
 		read += run.Length
 	}
@@ -835,10 +915,101 @@ func (s *server) shipPlan(name string, round *readRound, plan catalog.FilePlan) 
 	}
 	if !ok {
 		s.skipFile(read)
-		return
+		return false
 	}
 	s.noteRestartBytes(read)
 	s.sendShips(ships)
+	return true
+}
+
+// recoverPanes retries every pane of a failed planned file against the
+// generation's other copies, best-first (primaries before replicas, per
+// catalog.PaneSources), shipping each pane from the first copy that
+// verifies end to end. The walk is deterministic — sorted panes, ordered
+// sources, a shared bad-file set — so every server makes the same
+// recovery decisions. A pane with no good copy anywhere is simply not
+// shipped: the clients then report the snapshot incomplete and the restore
+// walk falls back a generation, which is exactly the all-copies-bad
+// semantics the replica layer promises. It reports how many panes it
+// recovered (and shipped).
+func (s *server) recoverPanes(cat *catalog.Catalog, window string, round *readRound, plan catalog.FilePlan, badFiles map[string]bool) int {
+	if cat == nil {
+		return 0 // scan mode has no index of copies; the listing covers replicas
+	}
+	seen := make(map[int]bool)
+	var panes []int
+	for i := range plan.Entries {
+		if p := plan.Entries[i].Pane; !seen[p] {
+			seen[p] = true
+			panes = append(panes, p)
+		}
+	}
+	sort.Ints(panes)
+	recovered := 0
+	for _, pane := range panes {
+		for _, src := range cat.PaneSources(window, pane) {
+			if badFiles[src.File] {
+				continue
+			}
+			ok, opened := s.tryPaneSource(src, round)
+			if !opened {
+				badFiles[src.File] = true
+			}
+			if ok {
+				recovered++
+				s.m.RepairedPanes++
+				s.mx.repairedPanes.Inc()
+				if catalog.ReplicaRank(src.File) > 0 {
+					s.m.ReplicaReads++
+					s.mx.replicaReads.Inc()
+				}
+				break
+			}
+		}
+	}
+	return recovered
+}
+
+// tryPaneSource attempts one pane's datasets from one copy: open, read the
+// coalesced extents, verify, inflate, ship. opened=false means the file
+// itself is unreachable (blacklist it); ok=false with opened=true means
+// this copy's bytes are damaged — other panes of the file may still be
+// fine, so only the attempted read is charged as wasted.
+func (s *server) tryPaneSource(plan catalog.FilePlan, round *readRound) (ok, opened bool) {
+	readT0 := s.ctx.Clock().Now()
+	f, err := s.ctx.FS().Open(plan.File)
+	if err != nil {
+		s.skipFile(0)
+		return false, false
+	}
+	defer f.Close()
+	s.m.FilesOpened++
+	s.mx.filesOpened.Inc()
+
+	runs := catalog.Coalesce(plan.Entries, 0)
+	bufs := make([][]byte, len(runs))
+	var read int64
+	for i, run := range runs {
+		bufs[i] = make([]byte, run.Length)
+		if _, err := f.ReadAt(bufs[i], run.Offset); err != nil {
+			s.skipFile(read)
+			return false, true
+		}
+		read += run.Length
+	}
+	s.cfg.Trace.Record(s.traceRank(), trace.PhaseRead, readT0, s.ctx.Clock().Now())
+
+	ships, crcFailed, aok := assembleShips(plan, runs, bufs, round)
+	if crcFailed {
+		s.mx.checksumFails.Inc()
+	}
+	if !aok {
+		s.skipFile(read)
+		return false, true
+	}
+	s.noteRestartBytes(read)
+	s.sendShips(ships)
+	return true, true
 }
 
 // collectScanFile walks one snapshot file and assembles the requested

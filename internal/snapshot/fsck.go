@@ -21,6 +21,9 @@ const (
 	// or incomplete index. Restart still works (the scan fallback ignores
 	// the catalog) but indexed reads would not, so the scrub fails.
 	VerdictCatalogMismatch = "CATALOG-MISMATCH"
+	// VerdictRepaired marks a generation Repair rebuilt from verified
+	// replica copies and re-scrubbed clean. It counts as clean.
+	VerdictRepaired = "REPAIRED"
 )
 
 // FileReport is one file's scrub outcome.

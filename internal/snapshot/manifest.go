@@ -70,6 +70,13 @@ type Manifest struct {
 	// committed. Verify deliberately ignores it: a damaged catalog costs
 	// the indexed read path, not the generation.
 	Catalog *CatalogRef `json:"catalog,omitempty"`
+	// Replication is the number of copies of each server file set this
+	// generation carries: 1 + the highest replica rank among the committed
+	// files. A generation with Replication > 1 can lose or corrupt files
+	// and still restore — the read path retries each pane against the
+	// replicas — so the restore walk attempts it even when Verify fails.
+	// Zero on manifests committed by older writers (treated as 1).
+	Replication int `json:"replication,omitempty"`
 }
 
 // Commit writes the commit record for the generation under base: it
@@ -98,6 +105,12 @@ func Commit(fsys rt.FS, base string, epoch int64, tm float64) (*Manifest, error)
 	}
 	if len(m.Files) == 0 {
 		return nil, fmt.Errorf("snapshot: commit %s: no snapshot files", base)
+	}
+	m.Replication = 1
+	for _, e := range m.Files {
+		if r := catalog.ReplicaRank(e.Name) + 1; r > m.Replication {
+			m.Replication = r
+		}
 	}
 	// The catalog goes to disk before the manifest: the manifest is the
 	// commit record, so a crash between the two leaves an uncommitted

@@ -25,9 +25,9 @@ type Generation struct {
 }
 
 // baseOf derives the generation base from a snapshot artifact name:
-// base.manifest, base.catalog, base_s000.rhdf, base_p00000.rhdf, or any of
-// those with a staged .tmp suffix. It returns "" for names that are not
-// snapshot artifacts.
+// base.manifest, base.catalog, base_s000.rhdf, a replica base_s000r1.rhdf,
+// base_p00000.rhdf, or any of those with a staged .tmp suffix. It returns
+// "" for names that are not snapshot artifacts.
 func baseOf(name string) string {
 	name = strings.TrimSuffix(name, hdf.TmpSuffix)
 	if b, ok := strings.CutSuffix(name, Suffix); ok {
@@ -48,13 +48,28 @@ func baseOf(name string) string {
 	if tail[0] != 's' && tail[0] != 'p' {
 		return ""
 	}
-	for _, c := range tail[1:] {
+	digits := tail[1:]
+	if tail[0] == 's' {
+		// Server files may carry a replica suffix: sNNNrM.
+		if j := strings.IndexByte(digits, 'r'); j >= 0 {
+			if j == 0 || j == len(digits)-1 {
+				return ""
+			}
+			for _, c := range digits[j+1:] {
+				if c < '0' || c > '9' {
+					return ""
+				}
+			}
+			digits = digits[:j]
+		}
+	}
+	if len(digits) == 0 {
+		return ""
+	}
+	for _, c := range digits {
 		if c < '0' || c > '9' {
 			return ""
 		}
-	}
-	if len(tail) < 2 {
-		return ""
 	}
 	return name[:i]
 }
@@ -132,12 +147,17 @@ func Restore(fsys rt.FS, prefix string, try func(base string) error, opts Option
 			// directory; one rank does it and shares the verdict.
 			if opts.Comm == nil || opts.Comm.Rank() == 0 {
 				m, err := Load(fsys, g.Base)
-				if err == nil {
-					err = m.Verify(fsys)
-				}
 				if err != nil {
 					ok = false
 					lastErr = err
+				} else if verr := m.Verify(fsys); verr != nil && m.Replication <= 1 {
+					// A replicated generation (Replication > 1) is still
+					// attempted with damaged or missing files: the read
+					// path retries each pane against its replicas, and the
+					// attempt itself fails — falling back — only when some
+					// pane is bad in every copy.
+					ok = false
+					lastErr = verr
 				}
 			}
 			if opts.Comm != nil {
