@@ -1,8 +1,12 @@
 // Command comparebench is the CI bench-regression gate: it diffs a fresh
 // genxbench JSON against the committed baseline and fails (exit 1) when a
 // module's visible_write_seconds or visible_read_seconds (the restart
-// cost) grows, or its throughput_mbps shrinks, by more than the
-// tolerance. The simulated platform is deterministic in its
+// cost) grows, its throughput_mbps shrinks, or its bytes written to disk
+// (rocpanda.server.bytes_written, falling back to hdf.bytes_stored for
+// the serverless modules) grows, by more than the tolerance. The bytes
+// gate is what keeps the delta-snapshot entries honest: a chain that
+// silently ships clean panes again shows up as byte growth long before it
+// costs visible seconds. The simulated platform is deterministic in its
 // seed, so drift beyond the tolerance is a code change, not noise — the
 // tolerance only absorbs intentional small cost-model adjustments.
 //
@@ -27,7 +31,19 @@ type benchFile struct {
 		VisibleRead    float64 `json:"visible_read_seconds"`
 		SyncWait       float64 `json:"sync_wait_seconds"`
 		ThroughputMBps float64 `json:"throughput_mbps"`
+		Metrics        struct {
+			Counters map[string]int64 `json:"counters"`
+		} `json:"metrics"`
 	} `json:"ios"`
+}
+
+// bytesWritten is the gated on-disk byte count: the Rocpanda server drain
+// counter when the module has servers, the store-level counter otherwise.
+func bytesWritten(counters map[string]int64) int64 {
+	if b := counters["rocpanda.server.bytes_written"]; b > 0 {
+		return b
+	}
+	return counters["hdf.bytes_stored"]
 }
 
 func load(path string) (*benchFile, error) {
@@ -72,7 +88,7 @@ func main() {
 		curByIO[io.IO] = i
 	}
 	bad := false
-	fmt.Printf("%-16s %22s %22s %22s\n", "module", "visible_write_seconds", "visible_read_seconds", "throughput_mbps")
+	fmt.Printf("%-16s %22s %22s %22s %24s\n", "module", "visible_write_seconds", "visible_read_seconds", "throughput_mbps", "bytes_written")
 	for _, b := range base.IOs {
 		i, ok := curByIO[b.IO]
 		if !ok {
@@ -81,20 +97,23 @@ func main() {
 			continue
 		}
 		c := cur.IOs[i]
+		bw, cw := bytesWritten(b.Metrics.Counters), bytesWritten(c.Metrics.Counters)
 		vwBad := b.VisibleWrite > 0 && c.VisibleWrite > b.VisibleWrite*(1+*tol)
 		vrBad := b.VisibleRead > 0 && c.VisibleRead > b.VisibleRead*(1+*tol)
 		tpBad := b.ThroughputMBps > 0 && c.ThroughputMBps < b.ThroughputMBps*(1-*tol)
+		bwBad := bw > 0 && float64(cw) > float64(bw)*(1+*tol)
 		mark := func(regressed bool) string {
 			if regressed {
 				return " REGRESSED"
 			}
 			return ""
 		}
-		fmt.Printf("%-16s %10.4f -> %8.4f%s %10.4f -> %8.4f%s %9.1f -> %8.1f%s\n",
+		fmt.Printf("%-16s %10.4f -> %8.4f%s %10.4f -> %8.4f%s %9.1f -> %8.1f%s %10d -> %10d%s\n",
 			b.IO, b.VisibleWrite, c.VisibleWrite, mark(vwBad),
 			b.VisibleRead, c.VisibleRead, mark(vrBad),
-			b.ThroughputMBps, c.ThroughputMBps, mark(tpBad))
-		bad = bad || vwBad || vrBad || tpBad
+			b.ThroughputMBps, c.ThroughputMBps, mark(tpBad),
+			bw, cw, mark(bwBad))
+		bad = bad || vwBad || vrBad || tpBad || bwBad
 	}
 	if bad {
 		fmt.Fprintf(os.Stderr, "comparebench: performance regressed beyond %.0f%% of the committed baseline\n", *tol*100)

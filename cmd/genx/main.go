@@ -28,6 +28,8 @@ func main() {
 	async := flag.Bool("async", false, "Rocpanda: drain buffers on background writer tasks (overlap writeback with computation)")
 	pread := flag.Bool("pread", false, "Rocpanda: serve restart reads from a parallel read-worker pool (overlap disk reads with shipping)")
 	replicate := flag.Int("replicate", 1, "Rocpanda: copies of each pane per snapshot generation; R>=2 survives file loss without a generation fallback")
+	deltaSnap := flag.Bool("delta", false, "Rocpanda: incremental snapshots — ship only panes dirtied since their last ship, committing delta generations chained to the previous one")
+	fullEvery := flag.Int("full-every", 4, "Rocpanda: with -delta, force a full snapshot every k generations (bounds chain depth; <=0 keeps only the first full)")
 	steps := flag.Int("steps", 20, "timesteps")
 	snapEvery := flag.Int("snap-every", 10, "snapshot interval in steps")
 	scale := flag.Float64("scale", 0.05, "lab-scale mesh scale in (0,1]")
@@ -76,6 +78,8 @@ func main() {
 			DrainWriters:      2,
 			ParallelRead:      *pread,
 			ReplicationFactor: *replicate,
+			DeltaSnapshots:    *deltaSnap,
+			FullEvery:         *fullEvery,
 		},
 	}
 	switch *burn {
@@ -110,6 +114,16 @@ func main() {
 	fmt.Printf("  clients %d, servers %d, steps %d, snapshots %d\n",
 		rep.NumClients, rep.NumServers, rep.Steps, rep.Snapshots)
 	fmt.Printf("  payload to I/O: %.1f MB\n", float64(rep.BytesOut)/1e6)
+	if *deltaSnap {
+		s := reg.Snapshot()
+		fmt.Printf("  delta: %d dirty panes shipped, %d clean panes skipped, %.1f MB saved\n",
+			s.Counters["rocpanda.write.dirty_panes"],
+			s.Counters["rocpanda.write.clean_panes"],
+			float64(s.Counters["rocpanda.write.delta_bytes_saved"])/1e6)
+		if d := s.Gauges["rocpanda.restart.chain_depth"]; d > 0 {
+			fmt.Printf("  delta: restart served a chain of depth %.0f\n", d)
+		}
+	}
 	if *restartLatest {
 		// Every client takes the agreed restore path, so the shared
 		// registry carries clients× the per-rank counts.

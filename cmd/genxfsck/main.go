@@ -20,18 +20,30 @@
 // and count as clean. -repair implies the full payload scrub and cannot
 // be combined with -quick.
 //
-// Exit status encodes the worst verdict found:
+// Verdicts, and the exit status encoding the worst one found:
+//
+//	OK                every manifested byte verifies              exit 0
+//	REPAIRED          damage rebuilt from replicas (-repair)      exit 0
+//	UNCOMMITTED       no manifest; crash residue the restart
+//	                  path already ignores                        exit 1
+//	CORRUPT           a manifested file is damaged or missing     exit 2
+//	CATALOG-MISMATCH  the pinned catalog blob is present but
+//	                  does not match the manifest reference       exit 2
+//	CATALOG-MISSING   the manifest pins a catalog blob that is
+//	                  absent from disk                            exit 2
+//	CHAIN-BROKEN      the generation's own files are clean but a
+//	                  link of its delta chain cannot restore      exit 2
 //
 //	0  every committed generation verifies (OK / REPAIRED)
-//	1  only UNCOMMITTED generations are unclean (crash residue the
-//	   restart path already ignores)
-//	2  some generation is CORRUPT or CATALOG-MISMATCH (and, with
-//	   -repair, could not be fully repaired)
+//	1  only UNCOMMITTED generations are unclean
+//	2  some generation is CORRUPT, CATALOG-MISMATCH, CATALOG-MISSING
+//	   or CHAIN-BROKEN (and, with -repair, could not be fully repaired)
 //	3  usage or I/O errors
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -107,7 +119,8 @@ func exitCode(reports []snapshot.GenReport) int {
 	code := exitOK
 	for _, rep := range reports {
 		switch rep.Verdict {
-		case snapshot.VerdictCorrupt, snapshot.VerdictCatalogMismatch:
+		case snapshot.VerdictCorrupt, snapshot.VerdictCatalogMismatch,
+			snapshot.VerdictCatalogMissing, snapshot.VerdictChainBroken:
 			return exitCorrupt
 		case snapshot.VerdictUncommitted:
 			code = exitUncommitted
@@ -146,6 +159,8 @@ func quickScrub(fsys rt.FS, prefix string) ([]snapshot.GenReport, error) {
 		}
 		reports = append(reports, rep)
 	}
+	// Even the quick pass must flag deltas whose chains cannot restore.
+	snapshot.ApplyChainVerdicts(fsys, reports)
 	return reports, nil
 }
 
@@ -158,6 +173,18 @@ func quickCatalog(fsys rt.FS, m *snapshot.Manifest, rep *snapshot.GenReport) {
 		return
 	}
 	blob, err := readAll(fsys, m.Catalog.Name)
+	if errors.Is(err, rt.ErrNotExist) {
+		// An absent blob is a different failure from a lying one: the
+		// manifest parses fine, the pinned index simply is not there.
+		rep.Catalog = "missing"
+		if rep.Verdict == snapshot.VerdictOK {
+			rep.Verdict = snapshot.VerdictCatalogMissing
+		}
+		rep.Files = append(rep.Files, snapshot.FileReport{
+			Name: m.Catalog.Name, Status: "missing", Detail: err.Error(),
+		})
+		return
+	}
 	if err != nil || int64(len(blob)) != m.Catalog.Size || hdf.Checksum(blob) != m.Catalog.CRC {
 		rep.Catalog = "mismatch"
 		if rep.Verdict == snapshot.VerdictOK {

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"fmt"
+	"testing"
+
+	"genxio/internal/catalog"
+	"genxio/internal/hdf"
+	"genxio/internal/roccom"
+	"genxio/internal/rt"
+	"genxio/internal/snapshot"
+)
+
+func writeGen(t *testing.T, fsys rt.FS, base string, panes []int) {
+	t.Helper()
+	w, err := hdf.Create(fsys, base+"_s000.rhdf", rt.NewWallClock(), hdf.NullProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range panes {
+		ds := roccom.PanePrefix("fluid", id) + "p"
+		if err := w.CreateDataset(ds, hdf.F64, []int64{2}, nil,
+			hdf.F64Bytes([]float64{1, 2})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickScrubCatalogMissing: the quick pass must report an absent pinned
+// catalog blob as CATALOG-MISSING (catalog state "missing"), not as the
+// generic mismatch, and exit-code it as corrupt.
+func TestQuickScrubCatalogMissing(t *testing.T) {
+	fsys := rt.NewMemFS()
+	writeGen(t, fsys, "out/snap000000", []int{1, 2})
+	if _, err := snapshot.Commit(fsys, "out/snap000000", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.Remove("out/snap000000" + catalog.Suffix); err != nil {
+		t.Fatal(err)
+	}
+	reports, err := quickScrub(fsys, "out/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 1 || reports[0].Verdict != snapshot.VerdictCatalogMissing {
+		t.Fatalf("reports %+v, want one CATALOG-MISSING", reports)
+	}
+	if reports[0].Catalog != "missing" {
+		t.Fatalf("catalog state %q, want missing", reports[0].Catalog)
+	}
+	if code := exitCode(reports); code != exitCorrupt {
+		t.Fatalf("exit code %d, want %d", code, exitCorrupt)
+	}
+}
+
+// TestQuickScrubChainBroken: the quick pass runs the chain verdicts too —
+// a clean delta over a damaged base is CHAIN-BROKEN even without the
+// payload scrub.
+func TestQuickScrubChainBroken(t *testing.T) {
+	fsys := rt.NewMemFS()
+	writeGen(t, fsys, "out/snap000000", []int{1, 2})
+	if _, err := snapshot.Commit(fsys, "out/snap000000", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	writeGen(t, fsys, "out/snap000010", []int{2})
+	if _, err := snapshot.CommitChained(fsys, "out/snap000010", 10, 1,
+		&snapshot.ChainInfo{Base: "out/snap000000", Depth: 1,
+			Panes: map[string][]int{"fluid": {1, 2}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.Remove("out/snap000000" + catalog.Suffix); err != nil {
+		t.Fatal(err)
+	}
+	reports, err := quickScrub(fsys, "out/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	verdicts := map[string]string{}
+	for _, r := range reports {
+		verdicts[r.Base] = r.Verdict
+	}
+	if verdicts["out/snap000000"] != snapshot.VerdictCatalogMissing {
+		t.Fatalf("base verdict %q, want CATALOG-MISSING", verdicts["out/snap000000"])
+	}
+	if verdicts["out/snap000010"] != snapshot.VerdictChainBroken {
+		t.Fatalf("delta verdict %q, want CHAIN-BROKEN", verdicts["out/snap000010"])
+	}
+	if code := exitCode(reports); code != exitCorrupt {
+		t.Fatalf("exit code %d, want %d", code, exitCorrupt)
+	}
+}
+
+// TestExitCodeSeverity: worst verdict wins, chain and catalog verdicts rank
+// with corrupt.
+func TestExitCodeSeverity(t *testing.T) {
+	cases := []struct {
+		verdicts []string
+		want     int
+	}{
+		{[]string{snapshot.VerdictOK, snapshot.VerdictRepaired}, exitOK},
+		{[]string{snapshot.VerdictOK, snapshot.VerdictUncommitted}, exitUncommitted},
+		{[]string{snapshot.VerdictUncommitted, snapshot.VerdictCorrupt}, exitCorrupt},
+		{[]string{snapshot.VerdictOK, snapshot.VerdictCatalogMismatch}, exitCorrupt},
+		{[]string{snapshot.VerdictOK, snapshot.VerdictCatalogMissing}, exitCorrupt},
+		{[]string{snapshot.VerdictOK, snapshot.VerdictChainBroken}, exitCorrupt},
+	}
+	for _, c := range cases {
+		var reports []snapshot.GenReport
+		for i, v := range c.verdicts {
+			reports = append(reports, snapshot.GenReport{Base: fmt.Sprintf("g%d", i), Verdict: v})
+		}
+		if got := exitCode(reports); got != c.want {
+			t.Fatalf("verdicts %v -> exit %d, want %d", c.verdicts, got, c.want)
+		}
+	}
+}

@@ -425,6 +425,37 @@ func (c *Catalog) PaneSources(window string, pane int) []FilePlan {
 	return plans
 }
 
+// ResolvePanes walks a delta chain's catalogs newest first (cats[0] is
+// the head generation, the last element its full base) and assigns each
+// wanted pane of a window to exactly one generation: the newest one
+// whose catalog contains it — that generation rewrote the pane last, so
+// every older copy is stale. The result is parallel to cats; feed each
+// per-generation set to that catalog's PlanReads (and, on a failed read,
+// PaneSources) so chain resolution composes with the replica-preferring
+// dedup and retry order unchanged. Panes found in no catalog are absent
+// from every set — the caller's incomplete-restart accounting applies.
+func ResolvePanes(cats []*Catalog, window string, wanted map[int]bool) []map[int]bool {
+	assign := make([]map[int]bool, len(cats))
+	resolved := make(map[int]bool, len(wanted))
+	for i, c := range cats {
+		assign[i] = make(map[int]bool)
+		if c == nil {
+			continue
+		}
+		for j := range c.Entries {
+			e := &c.Entries[j]
+			if e.Window != window || !wanted[e.Pane] || resolved[e.Pane] {
+				continue
+			}
+			assign[i][e.Pane] = true
+		}
+		for id := range assign[i] {
+			resolved[id] = true
+		}
+	}
+	return assign
+}
+
 // Run is one contiguous byte range to read from a file.
 type Run struct {
 	Offset, Length int64

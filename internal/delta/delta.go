@@ -1,0 +1,82 @@
+// Package delta implements dirty-pane tracking for incremental snapshot
+// generations. A Tracker remembers, per (window, pane), the mutation
+// epoch and encoded byte size last shipped to the I/O servers; a delta
+// generation then carries only the panes whose roccom dirty epoch has
+// moved past the shipped one, and the bytes the clean panes would have
+// cost are accounted as savings. Generation chaining itself (which full
+// base a delta resolves against) lives in the snapshot manifest and the
+// catalog's chain resolution — this package only decides *what* a
+// client ships and *when* a full base is due.
+package delta
+
+import "genxio/internal/roccom"
+
+// IsFull reports whether the genCount-th generation this client has
+// started (0-based, counted since Init or the last restart) must be a
+// full base rather than a delta. The first generation is always full —
+// a chain never spans process lifetimes — and fullEvery > 0 forces a
+// periodic full base so chains stay shallow. fullEvery <= 0 means only
+// the first generation is full and every later one is a delta.
+func IsFull(genCount, fullEvery int) bool {
+	if genCount == 0 {
+		return true
+	}
+	return fullEvery > 0 && genCount%fullEvery == 0
+}
+
+// shipped is the per-pane memory: the dirty epoch current when the pane
+// last rode a generation, and its encoded payload size then.
+type shipped struct {
+	epoch uint64
+	bytes int64
+}
+
+// Tracker remembers what each client last shipped so Partition can tell
+// dirty panes from clean ones. It is purely local state — one Tracker
+// per client, keyed by window name — and is not safe for concurrent use
+// (rocpanda clients are single-goroutine).
+type Tracker struct {
+	panes map[string]map[int]shipped
+}
+
+// NewTracker returns an empty tracker: every pane of every window is
+// dirty until its first MarkShipped.
+func NewTracker() *Tracker {
+	return &Tracker{panes: make(map[string]map[int]shipped)}
+}
+
+// Partition splits the window's local panes into dirty (epoch moved
+// since the last ship, or never shipped) and clean, both in ascending
+// pane-ID order, and returns the encoded bytes the clean panes were
+// last shipped at — the payload a full generation would have re-sent.
+func (t *Tracker) Partition(w *roccom.Window) (dirty, clean []int, savedBytes int64) {
+	byPane := t.panes[w.Name]
+	for _, id := range w.PaneIDs() {
+		s, ok := byPane[id]
+		if !ok || w.DirtyEpoch(id) > s.epoch {
+			dirty = append(dirty, id)
+			continue
+		}
+		clean = append(clean, id)
+		savedBytes += s.bytes
+	}
+	return dirty, clean, savedBytes
+}
+
+// MarkShipped records that the pane rode a generation at the given dirty
+// epoch with the given encoded payload size. Call it only after the ship
+// succeeded — a failed ship must leave the pane dirty.
+func (t *Tracker) MarkShipped(window string, id int, epoch uint64, bytes int64) {
+	byPane := t.panes[window]
+	if byPane == nil {
+		byPane = make(map[int]shipped)
+		t.panes[window] = byPane
+	}
+	byPane[id] = shipped{epoch: epoch, bytes: bytes}
+}
+
+// Forget drops the memory of one pane — used when refinement deletes a
+// pane so a later pane reusing the ID is treated as never shipped.
+func (t *Tracker) Forget(window string, id int) {
+	delete(t.panes[window], id)
+}

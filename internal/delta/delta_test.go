@@ -1,0 +1,142 @@
+package delta
+
+import (
+	"fmt"
+	"testing"
+
+	"genxio/internal/hdf"
+	"genxio/internal/mesh"
+	"genxio/internal/roccom"
+	"genxio/internal/stats"
+)
+
+func testWindow(t *testing.T, n int) *roccom.Window {
+	t.Helper()
+	blocks, err := mesh.GenCylinder(mesh.CylinderSpec{
+		RInner: 0.1, ROuter: 0.5, Length: 1,
+		BR: 1, BT: n, BZ: 1, NodesPerBlock: 120, Spread: 0.3,
+	}, 1, stats.NewRNG(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := roccom.New()
+	w, err := rc.NewWindow("fluid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.NewAttribute(roccom.AttrSpec{Name: "pressure", Loc: roccom.NodeLoc, Type: hdf.F64, NComp: 1}); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range blocks {
+		if _, err := w.RegisterPane(b.ID, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return w
+}
+
+func TestIsFullCadence(t *testing.T) {
+	cases := []struct {
+		gen, every int
+		want       bool
+	}{
+		{0, 4, true},  // first generation is always a full base
+		{1, 4, false}, // deltas between fulls
+		{2, 4, false},
+		{3, 4, false},
+		{4, 4, true}, // periodic full
+		{5, 4, false},
+		{8, 4, true},
+		{0, 0, true}, // no cadence: only the first is full
+		{7, 0, false},
+		{3, 1, true}, // every generation full
+	}
+	for _, c := range cases {
+		if got := IsFull(c.gen, c.every); got != c.want {
+			t.Errorf("IsFull(%d, %d) = %v, want %v", c.gen, c.every, got, c.want)
+		}
+	}
+}
+
+func TestTrackerPartition(t *testing.T) {
+	w := testWindow(t, 4)
+	tr := NewTracker()
+
+	// Never shipped: every pane is dirty.
+	dirty, clean, saved := tr.Partition(w)
+	if fmt.Sprint(dirty) != "[1 2 3 4]" || len(clean) != 0 || saved != 0 {
+		t.Fatalf("fresh tracker: dirty=%v clean=%v saved=%d", dirty, clean, saved)
+	}
+
+	// Ship everything; with no new mutations all panes are clean and the
+	// saved-bytes tally is the sum of the shipped payload sizes.
+	for _, id := range dirty {
+		tr.MarkShipped(w.Name, id, w.DirtyEpoch(id), 100)
+	}
+	dirty, clean, saved = tr.Partition(w)
+	if len(dirty) != 0 || fmt.Sprint(clean) != "[1 2 3 4]" || saved != 400 {
+		t.Fatalf("all shipped: dirty=%v clean=%v saved=%d", dirty, clean, saved)
+	}
+
+	// Mutate one pane: only it goes dirty again.
+	w.MarkDirty(3)
+	dirty, clean, saved = tr.Partition(w)
+	if fmt.Sprint(dirty) != "[3]" || fmt.Sprint(clean) != "[1 2 4]" || saved != 300 {
+		t.Fatalf("after MarkDirty(3): dirty=%v clean=%v saved=%d", dirty, clean, saved)
+	}
+
+	// MarkAllDirty dirties the window wholesale.
+	w.MarkAllDirty()
+	dirty, clean, _ = tr.Partition(w)
+	if fmt.Sprint(dirty) != "[1 2 3 4]" || len(clean) != 0 {
+		t.Fatalf("after MarkAllDirty: dirty=%v clean=%v", dirty, clean)
+	}
+}
+
+func TestTrackerRefinementLifecycle(t *testing.T) {
+	w := testWindow(t, 2)
+	tr := NewTracker()
+	for _, id := range w.PaneIDs() {
+		tr.MarkShipped(w.Name, id, w.DirtyEpoch(id), 50)
+	}
+
+	// A new pane registered after the last ship is dirty without any
+	// explicit MarkDirty — registration stamps it.
+	blocks, err := mesh.GenCylinder(mesh.CylinderSpec{
+		RInner: 0.1, ROuter: 0.5, Length: 1,
+		BR: 1, BT: 1, BZ: 1, NodesPerBlock: 120, Spread: 0.3,
+	}, 1, stats.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks[0].ID = 9
+	if _, err := w.RegisterPane(9, blocks[0]); err != nil {
+		t.Fatal(err)
+	}
+	dirty, clean, _ := tr.Partition(w)
+	if fmt.Sprint(dirty) != "[9]" || fmt.Sprint(clean) != "[1 2]" {
+		t.Fatalf("after RegisterPane(9): dirty=%v clean=%v", dirty, clean)
+	}
+
+	// Deleting a pane and forgetting it means an ID reuse is dirty again
+	// even if the window's dirty sequence never advances past the old
+	// shipped epoch.
+	if err := w.DeletePane(2); err != nil {
+		t.Fatal(err)
+	}
+	tr.Forget(w.Name, 2)
+	dirty, clean, _ = tr.Partition(w)
+	if fmt.Sprint(dirty) != "[9]" || fmt.Sprint(clean) != "[1]" {
+		t.Fatalf("after DeletePane(2): dirty=%v clean=%v", dirty, clean)
+	}
+}
+
+func TestDirtyEpochUnknownPane(t *testing.T) {
+	w := testWindow(t, 2)
+	if e := w.DirtyEpoch(99); e != 0 {
+		t.Fatalf("DirtyEpoch(unknown) = %d, want 0", e)
+	}
+	if e := w.DirtyEpoch(1); e == 0 {
+		t.Fatal("DirtyEpoch(live pane) = 0, want a positive epoch")
+	}
+}

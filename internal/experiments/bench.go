@@ -30,8 +30,13 @@ import (
 // rocpanda.drain.flush_seconds. v6 added the rocpanda-r2 entry
 // (pane replication at R=2, measuring the write amplification replicas
 // cost) and the replica restart counters
-// (rocpanda.restart.replica_reads, .repaired_panes).
-const BenchSchema = "genxio-bench/v6"
+// (rocpanda.restart.replica_reads, .repaired_panes). v7 added the
+// rocpanda-delta and rocpanda-delta-r2 entries (incremental delta
+// snapshots: only panes dirtied since their last ship are written,
+// committed as generations chained to the previous one) plus the delta
+// counters (rocpanda.write.dirty_panes, .clean_panes,
+// .delta_bytes_saved) and the rocpanda.restart.chain_depth gauge.
+const BenchSchema = "genxio-bench/v7"
 
 // BenchOpts configures the observability bench: one small integrated run
 // per I/O module on the simulated Turing platform, with a metrics
@@ -99,6 +104,12 @@ func RunBench(opts BenchOpts) (*BenchResult, error) {
 	opts.defaults()
 	plat := cluster.Turing()
 	spec := workload.LabScale(opts.Scale)
+	// Snapshot every 4 steps instead of the lab default 10: six
+	// generations per run, which with the real-arithmetic stride gives the
+	// delta entries a realistic mix of full, dirty and clean snapshots
+	// (fulls at generations 0 and 4, an all-dirty delta right after the
+	// arithmetic step, clean deltas between).
+	spec.SnapshotEvery = 4
 	res := &BenchResult{Schema: BenchSchema, Platform: plat.Name, Opts: opts}
 
 	entries := []struct {
@@ -107,24 +118,36 @@ func RunBench(opts BenchOpts) (*BenchResult, error) {
 		async bool
 		pread bool
 		repl  int
+		delta bool
 	}{
-		{"rochdf", rocman.IORochdf, false, false, 0},
-		{"trochdf", rocman.IOTRochdf, false, false, 0},
-		{"rocpanda", rocman.IORocpanda, false, false, 0},
+		{"rochdf", rocman.IORochdf, false, false, 0, false},
+		{"trochdf", rocman.IOTRochdf, false, false, 0, false},
+		{"rocpanda", rocman.IORocpanda, false, false, 0, false},
 		// The same workload with the background drain engine: writeback
 		// overlaps the clients' computation, so visible write and sync
 		// costs drop at byte-identical output.
-		{"rocpanda-async", rocman.IORocpanda, true, false, 0},
+		{"rocpanda-async", rocman.IORocpanda, true, false, 0, false},
 		// And with the parallel restart read engine: each server's restart
 		// share is read by a worker pool, so the per-process stream pacing
 		// of the simulated NFS overlaps and the measured restart (visible
 		// read) drops at bit-identical restored state.
-		{"rocpanda-pread", rocman.IORocpanda, false, true, 0},
+		{"rocpanda-pread", rocman.IORocpanda, false, true, 0, false},
 		// And with pane replication at R=2: every server also writes a
 		// byte-identical replica of its file to another server's home, so
 		// a lost or corrupt primary restarts from the same generation.
 		// This entry prices that availability as write amplification.
-		{"rocpanda-r2", rocman.IORocpanda, false, false, 2},
+		{"rocpanda-r2", rocman.IORocpanda, false, false, 2, false},
+		// And with incremental delta snapshots (-delta -full-every 4):
+		// between the periodic fulls only panes dirtied since their last
+		// ship are written, as generations chained to the previous one.
+		// With the bench's real-arithmetic stride most snapshots find the
+		// panes clean, so bytes written per generation collapse while a
+		// chain-aware restart stays bit-exact.
+		{"rocpanda-delta", rocman.IORocpanda, false, false, 0, true},
+		// Deltas compose with replication: each delta generation's file
+		// set is replicated at R=2, so a damaged chain link repairs from
+		// its replica instead of breaking every newer delta.
+		{"rocpanda-delta-r2", rocman.IORocpanda, false, false, 2, true},
 	}
 	for _, ent := range entries {
 		kind := ent.kind
@@ -164,6 +187,10 @@ func RunBench(opts BenchOpts) (*BenchResult, error) {
 			}
 			if ent.repl > 1 {
 				cfg.Rocpanda.ReplicationFactor = ent.repl
+			}
+			if ent.delta {
+				cfg.Rocpanda.DeltaSnapshots = true
+				cfg.Rocpanda.FullEvery = 4
 			}
 			total += m
 		}
@@ -226,6 +253,12 @@ func (r *BenchResult) Format() string {
 				s.Counters["rocpanda.read.backpressure_waits"],
 				s.Counters["rocpanda.read.errors"],
 				float64(s.Counters["rocpanda.restart.bytes_read"])/1e6)
+		case "rocpanda-delta", "rocpanda-delta-r2":
+			fmt.Fprintf(&b, "%-10s delta snapshots: %d dirty panes shipped, %d clean skipped, %.1f MB saved, restart chain depth %.0f\n",
+				io.IO, s.Counters["rocpanda.write.dirty_panes"],
+				s.Counters["rocpanda.write.clean_panes"],
+				float64(s.Counters["rocpanda.write.delta_bytes_saved"])/1e6,
+				s.Gauges["rocpanda.restart.chain_depth"])
 		case "rocpanda-r2":
 			d := s.Histograms["rocpanda.server.drain_seconds"]
 			fmt.Fprintf(&b, "%-10s drained %d blocks (%.3fs total, primaries + replicas), %d panes repaired, %d replica reads\n",

@@ -37,8 +37,61 @@ func TestBenchJSONDeterministicAndParseable(t *testing.T) {
 	if err := json.Unmarshal(ba.Bytes(), &round); err != nil {
 		t.Fatalf("bench JSON does not parse: %v", err)
 	}
-	if round.Schema != BenchSchema || len(round.IOs) != 6 {
+	if round.Schema != BenchSchema || len(round.IOs) != 8 {
 		t.Fatalf("roundtrip schema=%q ios=%d", round.Schema, len(round.IOs))
+	}
+}
+
+// TestBenchDeltaWriteSavings is the delta acceptance criterion: on the
+// bench workload the rocpanda-delta entry (FullEvery=4) must write at
+// least 40% fewer server bytes per generation than the full-snapshot
+// rocpanda entry, while its measured restart still succeeds (chain-aware,
+// visible read > 0).
+func TestBenchDeltaWriteSavings(t *testing.T) {
+	res, err := RunBench(BenchOpts{Scale: 0.05, Procs: 8, Seed: 3, Stride: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byIO := map[string]IOBenchResult{}
+	for _, io := range res.IOs {
+		byIO[io.IO] = io
+	}
+	full, ok := byIO["rocpanda"]
+	if !ok {
+		t.Fatal("rocpanda entry missing")
+	}
+	delta, ok := byIO["rocpanda-delta"]
+	if !ok {
+		t.Fatal("rocpanda-delta entry missing")
+	}
+	fb := full.Metrics.Counters["rocpanda.server.bytes_written"]
+	db := delta.Metrics.Counters["rocpanda.server.bytes_written"]
+	if fb == 0 || db == 0 {
+		t.Fatalf("bytes_written full=%d delta=%d", fb, db)
+	}
+	saved := 1 - float64(db)/float64(fb)
+	if saved < 0.40 {
+		t.Fatalf("delta entry saved only %.0f%% of bytes written (full %d, delta %d), want >= 40%%",
+			saved*100, fb, db)
+	}
+	if delta.Metrics.Counters["rocpanda.write.clean_panes"] == 0 {
+		t.Fatal("delta entry never skipped a clean pane")
+	}
+	// The measured restart went through the chain path.
+	if delta.VisibleRead <= 0 {
+		t.Fatal("delta restart not measured")
+	}
+	if d := delta.Metrics.Gauges["rocpanda.restart.chain_depth"]; d < 1 {
+		t.Fatalf("restart chain depth gauge %v, want >= 1", d)
+	}
+	// R=2 composes: the replicated delta entry writes roughly twice the
+	// delta bytes, still well under the unreplicated full run.
+	dr2, ok := byIO["rocpanda-delta-r2"]
+	if !ok {
+		t.Fatal("rocpanda-delta-r2 entry missing")
+	}
+	if b := dr2.Metrics.Counters["rocpanda.server.bytes_written"]; b <= db {
+		t.Fatalf("delta-r2 wrote %d bytes, not above unreplicated delta's %d", b, db)
 	}
 }
 

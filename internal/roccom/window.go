@@ -140,6 +140,11 @@ type Pane struct {
 	ID     int
 	Block  *mesh.Block
 	arrays map[string]*Array
+	// dirty is the window dirty-sequence value at the pane's last
+	// mutation. A freshly registered pane is dirty; delta snapshots
+	// compare it against the epoch last shipped to decide whether the
+	// pane must ride the next generation.
+	dirty uint64
 }
 
 // Array returns the pane's storage for the named attribute.
@@ -164,6 +169,11 @@ type Window struct {
 	specs []AttrSpec
 	byNam map[string]int
 	panes map[int]*Pane
+	// dirtySeq is a monotonic per-window mutation counter. Each MarkDirty
+	// (or MarkAllDirty) bump stamps the touched panes with a value greater
+	// than any epoch shipped before it, so delta snapshots never miss a
+	// mutation that races ahead of the next write.
+	dirtySeq uint64
 }
 
 func newWindow(name string) *Window {
@@ -213,7 +223,8 @@ func (w *Window) RegisterPane(id int, b *mesh.Block) (*Pane, error) {
 	if _, dup := w.panes[id]; dup {
 		return nil, fmt.Errorf("roccom: window %q already has pane %d", w.Name, id)
 	}
-	p := &Pane{ID: id, Block: b, arrays: make(map[string]*Array, len(w.specs))}
+	w.dirtySeq++
+	p := &Pane{ID: id, Block: b, arrays: make(map[string]*Array, len(w.specs)), dirty: w.dirtySeq}
 	for _, spec := range w.specs {
 		p.arrays[spec.Name] = newArray(spec, spec.items(b))
 	}
@@ -254,4 +265,36 @@ func (w *Window) EachPane(fn func(*Pane)) {
 	for _, id := range w.PaneIDs() {
 		fn(w.panes[id])
 	}
+}
+
+// MarkDirty stamps one pane with a fresh mutation epoch. Solvers (via
+// rocman) call it after writing attribute data so delta snapshots know
+// the pane must ride the next generation. Unknown IDs are ignored.
+func (w *Window) MarkDirty(id int) {
+	p, ok := w.panes[id]
+	if !ok {
+		return
+	}
+	w.dirtySeq++
+	p.dirty = w.dirtySeq
+}
+
+// MarkAllDirty stamps every local pane with one fresh mutation epoch —
+// the collective form solvers use after a real-arithmetic step touches
+// the whole window.
+func (w *Window) MarkAllDirty() {
+	w.dirtySeq++
+	for _, p := range w.panes {
+		p.dirty = w.dirtySeq
+	}
+}
+
+// DirtyEpoch returns the pane's mutation epoch: the window dirty-sequence
+// value at its last MarkDirty (or registration). Zero is never a valid
+// epoch for a live pane, so it doubles as the "unknown pane" answer.
+func (w *Window) DirtyEpoch(id int) uint64 {
+	if p, ok := w.panes[id]; ok {
+		return p.dirty
+	}
+	return 0
 }

@@ -163,6 +163,10 @@ func Run(ctx mpi.Ctx, cfg Config) (*Report, error) {
 	cfg.Metrics.Histogram("rocpanda.read.overlap_seconds", nil)
 	cfg.Metrics.Counter("rocpanda.read.errors")
 	cfg.Metrics.Counter("rocpanda.restart.bytes_wasted")
+	cfg.Metrics.Counter("rocpanda.write.dirty_panes")
+	cfg.Metrics.Counter("rocpanda.write.clean_panes")
+	cfg.Metrics.Counter("rocpanda.write.delta_bytes_saved")
+	cfg.Metrics.Gauge("rocpanda.restart.chain_depth")
 
 	// I/O module selection: Rocpanda splits the world; the Rochdf
 	// variants use the world communicator directly.
@@ -490,6 +494,13 @@ func (g *genx) run(svc roccom.IOService, cfg Config) error {
 		if (step-1)%cfg.StrideRealWork == 0 {
 			for _, s := range g.solvers {
 				s.Step(dt)
+			}
+			// The solvers mutated pane data in place; bump the windows'
+			// dirty epochs so delta snapshots reship these panes. Strided
+			// charge-only steps change nothing, so they dirty nothing.
+			g.fluid.MarkAllDirty()
+			if g.solid != nil {
+				g.solid.MarkAllDirty()
 			}
 		} else {
 			g.ctx.Clock().Compute(g.chargeOnlyCost())

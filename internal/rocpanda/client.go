@@ -1,11 +1,14 @@
 package rocpanda
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 
 	"genxio/internal/catalog"
+	"genxio/internal/delta"
 	"genxio/internal/metrics"
 	"genxio/internal/mpi"
 	"genxio/internal/roccom"
@@ -54,9 +57,21 @@ type Client struct {
 	// Snapshot-commit state: generations written since the last commit.
 	// Writes are collective, so every client accumulates the same list;
 	// client 0 writes the manifests once all servers have drained.
-	pending    []pendingGen
-	pendingSet map[string]bool
+	pending    []*pendingGen
+	pendingSet map[string]*pendingGen
 	registry   *metrics.Registry
+
+	// Delta snapshots (Config.DeltaSnapshots): which panes were last
+	// shipped at which dirty epoch, how many generations this client has
+	// started (the full/delta cadence input — identical on every client,
+	// writes being collective), and the chain state of the last committed
+	// generation (what the next delta's manifest records).
+	deltaOn   bool
+	fullEvery int
+	tracker   *delta.Tracker
+	genCount  int
+	lastBase  string
+	lastDepth int
 
 	// Fault tolerance (see failover.go).
 	nClients  int          // client-communicator size
@@ -80,6 +95,11 @@ type clMx struct {
 	bytesOut     *metrics.Counter
 	retries      *metrics.Counter
 	failovers    *metrics.Counter
+
+	// Delta snapshots (Config.DeltaSnapshots).
+	dirtyPanes *metrics.Counter
+	cleanPanes *metrics.Counter
+	deltaSaved *metrics.Counter
 }
 
 func newClMx(r *metrics.Registry) clMx {
@@ -90,6 +110,10 @@ func newClMx(r *metrics.Registry) clMx {
 		bytesOut:     r.Counter("rocpanda.client.bytes_out"),
 		retries:      r.Counter("rocpanda.client.retries"),
 		failovers:    r.Counter("rocpanda.client.failovers"),
+
+		dirtyPanes: r.Counter("rocpanda.write.dirty_panes"),
+		cleanPanes: r.Counter("rocpanda.write.clean_panes"),
+		deltaSaved: r.Counter("rocpanda.write.delta_bytes_saved"),
 	}
 }
 
@@ -118,7 +142,46 @@ func (c *Client) WriteAttribute(file string, w *roccom.Window, attr string, tm f
 		c.mx.visibleWrite.Observe(d)
 	}()
 
+	gen := c.pendingSet[file]
+	if gen == nil {
+		// First collective write of a new generation: decide full vs delta
+		// once, for every window written into it. The cadence input is the
+		// per-client generation count, identical across clients since
+		// writes are collective.
+		full := !c.deltaOn || delta.IsFull(c.genCount, c.fullEvery)
+		c.genCount++
+		gen = &pendingGen{base: file, epoch: int64(step), time: tm, full: full,
+			panes: make(map[string][]int)}
+		c.pendingSet[file] = gen
+		c.pending = append(c.pending, gen)
+	}
+
 	ids := w.PaneIDs()
+	if c.deltaOn {
+		gen.panes[w.Name] = ids
+	}
+	var epochs map[int]uint64
+	if c.deltaOn && !gen.full {
+		// Delta generation: ship only panes dirtied since their last ship.
+		// Capture each pane's dirty epoch before shipping so a concurrent
+		// re-dirty (in principle) would not be marked clean.
+		dirty, clean, saved := c.tracker.Partition(w)
+		c.mx.dirtyPanes.Add(int64(len(dirty)))
+		c.mx.cleanPanes.Add(int64(len(clean)))
+		c.mx.deltaSaved.Add(saved)
+		ids = dirty
+		epochs = make(map[int]uint64, len(ids))
+		for _, id := range ids {
+			epochs[id] = w.DirtyEpoch(id)
+		}
+	} else if c.deltaOn {
+		c.mx.dirtyPanes.Add(int64(len(ids)))
+		epochs = make(map[int]uint64, len(ids))
+		for _, id := range ids {
+			epochs[id] = w.DirtyEpoch(id)
+		}
+	}
+
 	payloads := make([][]byte, 0, len(ids))
 	var bytes int64
 	for _, id := range ids {
@@ -140,16 +203,12 @@ func (c *Client) WriteAttribute(file string, w *roccom.Window, attr string, tm f
 		NBlocks: int32(len(payloads)), Bytes: bytes,
 	}
 	enc := encodeWriteHdr(hdr)
-	if !c.pendingSet[file] {
-		c.pendingSet[file] = true
-		c.pending = append(c.pending, pendingGen{base: file, epoch: int64(step), time: tm})
-	}
 	// Ship header and blocks, then wait for the ack, which arrives when
 	// the server has safely buffered (or written) everything; our buffers
 	// are reusable as soon as the ack lands. A timed-out ack fails the
 	// whole write over to a surviving server and resends it from scratch
 	// (blocks may then exist in two servers' files; restart dedupes).
-	return c.withFailover("write "+file, func(target int) bool {
+	err := c.withFailover("write "+file, func(target int) bool {
 		sendT0 := c.ctx.Clock().Now()
 		c.world.Send(target, tagWriteHdr, enc)
 		for _, pl := range payloads {
@@ -169,6 +228,14 @@ func (c *Client) WriteAttribute(file string, w *roccom.Window, attr string, tm f
 		}
 		return ok
 	})
+	if err == nil && c.deltaOn {
+		// The server has the bytes; record each pane's shipped epoch so the
+		// next delta skips it unless it dirties again.
+		for i, id := range ids {
+			c.tracker.MarkShipped(w.Name, id, epochs[id], int64(len(payloads[i])))
+		}
+	}
+	return err
 }
 
 // ReadAttribute implements roccom.IOService: collective restart. The
@@ -413,6 +480,13 @@ type pendingGen struct {
 	base  string
 	epoch int64
 	time  float64
+	// Delta snapshots: whether this generation ships every pane (full) or
+	// only dirty ones, and this client's local pane universe per window —
+	// every registered pane, shipped or not, so the committed manifest can
+	// record the generation's true pane set (a clean pane still exists; a
+	// refinement-deleted one must not resurrect from the chain's base).
+	full  bool
+	panes map[string][]int
 }
 
 // commitPending writes the manifest of every generation synced since the
@@ -423,21 +497,79 @@ type pendingGen struct {
 // commit records exist.
 func (c *Client) commitPending() error {
 	var err error
-	if c.myIdx == 0 {
-		for _, g := range c.pending {
-			if _, cerr := snapshot.Commit(c.ctx.FS(), g.base, g.epoch, g.time); cerr != nil && err == nil {
+	for _, g := range c.pending {
+		var chain *snapshot.ChainInfo
+		if c.deltaOn && !g.full {
+			// A delta's manifest must record the generation's global pane
+			// universe, and panes live where their owners are — no single
+			// client knows the whole set, so gather every client's local
+			// universe to the committer. Collective: every client's pending
+			// list is identical (writes are collective).
+			blob, _ := json.Marshal(g.panes)
+			parts := c.comm.Gather(0, blob)
+			if c.myIdx == 0 {
+				chain = &snapshot.ChainInfo{
+					Base:  c.lastBase,
+					Depth: c.lastDepth + 1,
+					Panes: mergeUniverses(parts),
+				}
+			}
+		}
+		if c.myIdx == 0 {
+			if _, cerr := snapshot.CommitChained(c.ctx.FS(), g.base, g.epoch, g.time, chain); cerr != nil && err == nil {
 				err = cerr
 			}
 		}
-		if err == nil && c.retain > 0 && len(c.pending) > 0 {
-			prefix := genPrefix(c.pending[len(c.pending)-1].base)
-			_, err = snapshot.Prune(c.ctx.FS(), prefix, c.retain)
+		// Chain state advances on every client, commit outcome regardless:
+		// if the commit failed, the next delta chains to an uncommitted
+		// base, LoadChain refuses it, and restore falls back — the same
+		// degradation a lost manifest already gets.
+		if c.deltaOn {
+			if g.full {
+				c.lastBase, c.lastDepth = g.base, 0
+			} else {
+				c.lastBase, c.lastDepth = g.base, c.lastDepth+1
+			}
 		}
 	}
+	if err == nil && c.myIdx == 0 && c.retain > 0 && len(c.pending) > 0 {
+		prefix := genPrefix(c.pending[len(c.pending)-1].base)
+		_, err = snapshot.Prune(c.ctx.FS(), prefix, c.retain)
+	}
 	c.pending = nil
-	c.pendingSet = make(map[string]bool)
+	c.pendingSet = make(map[string]*pendingGen)
 	c.comm.Barrier()
 	return err
+}
+
+// mergeUniverses unions the clients' per-window pane universes into one
+// sorted global set per window.
+func mergeUniverses(parts [][]byte) map[string][]int {
+	seen := make(map[string]map[int]bool)
+	for _, blob := range parts {
+		var local map[string][]int
+		if json.Unmarshal(blob, &local) != nil {
+			continue // cannot happen: we marshaled it ourselves
+		}
+		for w, ids := range local {
+			if seen[w] == nil {
+				seen[w] = make(map[int]bool)
+			}
+			for _, id := range ids {
+				seen[w][id] = true
+			}
+		}
+	}
+	merged := make(map[string][]int, len(seen))
+	for w, set := range seen {
+		ids := make([]int, 0, len(set))
+		for id := range set {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		merged[w] = ids
+	}
+	return merged
 }
 
 // genPrefix returns the directory prefix shared by a base's generations.
@@ -527,7 +659,7 @@ func (c *Client) Shutdown() error {
 	}
 	if c.comm.AllreduceMax(bad) > 0 {
 		c.pending = nil
-		c.pendingSet = make(map[string]bool)
+		c.pendingSet = make(map[string]*pendingGen)
 		if drainFailed {
 			return fmt.Errorf("rocpanda: shutdown: %w", errDrainFailed)
 		}

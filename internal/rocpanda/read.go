@@ -71,6 +71,10 @@ type readItem struct {
 	name string
 	scan bool
 	plan catalog.FilePlan
+	// cat, when set, is the catalog this plan came from — in chain rounds
+	// each item carries its own generation's catalog, so a failed file's
+	// pane retries consult the right link's copies.
+	cat *catalog.Catalog
 }
 
 // readFile is the server-side state of one file in a parallel round.
@@ -78,6 +82,7 @@ type readFile struct {
 	name   string
 	scan   bool
 	plan   catalog.FilePlan
+	cat    *catalog.Catalog // per-item catalog (chain rounds); nil otherwise
 	runs   []catalog.Run
 	bufs   [][]byte // one buffer per run; chunk tasks fill disjoint windows
 	left   int      // outstanding worker results for this file
@@ -192,7 +197,7 @@ func newReadEngine(s *server, window string, round *readRound, items []readItem,
 			e.tasks = append(e.tasks, &readTask{cost: cost, scan: &readScanTask{fi: fi, name: it.name}})
 			continue
 		}
-		f := &readFile{name: it.name, plan: it.plan, runs: catalog.Coalesce(it.plan.Entries, 0)}
+		f := &readFile{name: it.name, plan: it.plan, cat: it.cat, runs: catalog.Coalesce(it.plan.Entries, 0)}
 		f.bufs = make([][]byte, len(f.runs))
 		e.files = append(e.files, f)
 		for ri, run := range f.runs {
@@ -360,11 +365,18 @@ func (e *readEngine) consume(r readResult) {
 // copies — in both cases the listing itself already covers every replica,
 // so there is nothing more to do here.
 func (e *readEngine) retry(f *readFile) {
-	if e.cat == nil || f.scan {
+	if f.scan {
+		return
+	}
+	cat := f.cat
+	if cat == nil {
+		cat = e.cat
+	}
+	if cat == nil {
 		return
 	}
 	e.bad[f.name] = true
-	if e.s.recoverPanes(e.cat, e.window, e.round, f.plan, e.bad) > 0 {
+	if e.s.recoverPanes(cat, e.window, e.round, f.plan, e.bad) > 0 {
 		e.shipped = true
 	}
 }

@@ -31,6 +31,7 @@ package rocpanda
 import (
 	"fmt"
 
+	"genxio/internal/delta"
 	"genxio/internal/faults"
 	"genxio/internal/hdf"
 	"genxio/internal/metrics"
@@ -131,6 +132,21 @@ type Config struct {
 	// Compress stores snapshot datasets deflate-compressed on the
 	// servers.
 	Compress bool
+	// DeltaSnapshots enables incremental snapshot generations
+	// (internal/delta): a collective write ships only the panes whose data
+	// changed since they were last shipped — tracked through per-pane
+	// dirty epochs, see roccom.Window.MarkDirty — and the generation
+	// commits as a delta chained to the previous one (the manifest records
+	// BaseGeneration, ChainDepth, and the global pane universe). Restart
+	// resolves each pane to the newest chain link holding it through the
+	// links' block catalogs; a broken link fails the head generation and
+	// restore falls back past the whole chain.
+	DeltaSnapshots bool
+	// FullEvery makes every Nth generation of a run a full snapshot (all
+	// panes shipped, chain depth reset), bounding chain length and the
+	// blast radius of a lost base. The first generation of a run is always
+	// full; <= 0 chains every later generation to it. Delta mode only.
+	FullEvery int
 	// RetainGenerations, when positive, prunes all but the newest N
 	// snapshot generations (files and manifests) after each commit. Zero
 	// keeps everything.
@@ -273,7 +289,7 @@ func Init(ctx mpi.Ctx, cfg Config) (*Client, error) {
 		maxFail = m
 	}
 	origServer := srvRanks[assign(myIdx)]
-	return &Client{
+	cl := &Client{
 		ctx:        ctx,
 		world:      world,
 		comm:       sub,
@@ -290,7 +306,13 @@ func Init(ctx mpi.Ctx, cfg Config) (*Client, error) {
 		maxFail:    maxFail,
 		dead:       make(map[int]bool),
 		contacted:  []int{origServer},
-		pendingSet: make(map[string]bool),
+		pendingSet: make(map[string]*pendingGen),
+		deltaOn:    cfg.DeltaSnapshots,
+		fullEvery:  cfg.FullEvery,
 		mx:         newClMx(cfg.Metrics),
-	}, nil
+	}
+	if cfg.DeltaSnapshots {
+		cl.tracker = delta.NewTracker()
+	}
+	return cl, nil
 }

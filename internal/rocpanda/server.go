@@ -13,6 +13,7 @@ import (
 	"genxio/internal/mpi"
 	"genxio/internal/roccom"
 	"genxio/internal/rt"
+	"genxio/internal/snapshot"
 	"genxio/internal/trace"
 )
 
@@ -50,6 +51,9 @@ type ServerMetrics struct {
 	// Replica retries (Config.ReplicationFactor > 1).
 	ReplicaReads  int // panes served from a replica copy after a primary failed
 	RepairedPanes int // panes recovered from any other copy after a planned read failed
+
+	// Delta snapshots (Config.DeltaSnapshots).
+	ChainDepth int // deepest delta chain served during restart rounds
 }
 
 // serverCrashed is the panic sentinel of an injected server crash; run
@@ -141,6 +145,9 @@ type srvMx struct {
 	// Replica retries (Config.ReplicationFactor > 1).
 	replicaReads  *metrics.Counter
 	repairedPanes *metrics.Counter
+
+	// Delta snapshots (Config.DeltaSnapshots).
+	chainDepth *metrics.Gauge
 }
 
 func newSrvMx(r *metrics.Registry) srvMx {
@@ -177,6 +184,8 @@ func newSrvMx(r *metrics.Registry) srvMx {
 
 		replicaReads:  r.Counter("rocpanda.restart.replica_reads"),
 		repairedPanes: r.Counter("rocpanda.restart.repaired_panes"),
+
+		chainDepth: r.Gauge("rocpanda.restart.chain_depth"),
 	}
 }
 
@@ -673,6 +682,14 @@ func (s *server) serveRead(file, window string, round *readRound) {
 // clients decide whether peers covered the panes or a generation fallback
 // is needed.
 func (s *server) serveShare(file, window string, round *readRound, alive []int, pos int) byte {
+	// A delta generation restores through its chain, not its own files
+	// alone. An unreadable head manifest falls through to the single-
+	// generation path: its listing still scans, the dirty panes it holds
+	// ship, and the clients' completeness check decides whether that was
+	// enough.
+	if m, err := snapshot.Load(s.ctx.FS(), file); err == nil && m.ChainDepth > 0 {
+		return s.serveChainShare(file, window, round, alive, pos)
+	}
 	names, err := s.ctx.FS().List(file + "_s")
 	if err != nil {
 		s.noteReadErr()
@@ -769,6 +786,64 @@ func (s *server) serveShare(file, window string, round *readRound, alive []int, 
 	s.m.CatalogFallbacks++
 	s.mx.catalogFallbacks.Inc()
 	return doneModeScan
+}
+
+// serveChainShare serves a delta generation's restart round. The head's
+// chain is loaded newest-first and every requested pane resolves to the
+// newest link whose block catalog holds it — each pane to exactly one
+// (generation, file, extent) — then each link's planned files are read and
+// shipped exactly like a single generation's, per-pane replica retries
+// included (recoverPanes with that link's catalog). The combined item list
+// is dealt round-robin across the surviving servers in deterministic
+// (chain, plan) order, so the servers partition the chain's files without
+// communicating.
+//
+// Chain restores are purely catalog-driven: a delta file does not spell
+// out the panes it inherits, so there is no directory-scan fallback. An
+// unloadable link (missing manifest or catalog) fails the round —
+// doneModeFailed, nothing shipped from this server — and the clients'
+// completeness check sends the restore walk back past the whole chain.
+func (s *server) serveChainShare(file, window string, round *readRound, alive []int, pos int) byte {
+	chain, err := snapshot.LoadChain(s.ctx.FS(), file)
+	if err != nil {
+		s.noteReadErr()
+		return doneModeFailed
+	}
+	if depth := len(chain) - 1; depth > s.m.ChainDepth {
+		s.m.ChainDepth = depth
+		s.mx.chainDepth.SetMax(float64(depth))
+	}
+	wanted := make(map[int]bool, len(round.wantAll))
+	for id := range round.wantAll {
+		wanted[id] = true
+	}
+	cats := snapshot.ChainCatalogs(chain)
+	assign := catalog.ResolvePanes(cats, window, wanted)
+	var items []readItem
+	j := 0
+	for gi, cat := range cats {
+		for _, plan := range cat.PlanReads(window, assign[gi]) {
+			if j%len(alive) == pos {
+				items = append(items, readItem{name: plan.File, plan: plan, cat: cat})
+			}
+			j++
+		}
+	}
+	badFiles := make(map[string]bool)
+	if s.cfg.ParallelRead && len(items) > 0 {
+		s.runReadPool(window, round, items, nil, badFiles)
+	} else {
+		for _, it := range items {
+			if !s.shipPlan(it.name, round, it.plan) {
+				badFiles[it.name] = true
+				s.recoverPanes(it.cat, window, round, it.plan, badFiles)
+			}
+			s.maybeCrash(faults.MidRead)
+		}
+	}
+	s.m.CatalogHits++
+	s.mx.catalogHits.Inc()
+	return doneModeIndexed
 }
 
 // paneShip is one pane's ship-ready payload: assembled datasets destined

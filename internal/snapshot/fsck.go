@@ -24,6 +24,18 @@ const (
 	// VerdictRepaired marks a generation Repair rebuilt from verified
 	// replica copies and re-scrubbed clean. It counts as clean.
 	VerdictRepaired = "REPAIRED"
+	// VerdictCatalogMissing marks a generation whose manifest parses and
+	// pins a catalog blob that is simply absent on disk — distinct from
+	// CATALOG-MISMATCH (a blob that exists but lies) so operators can
+	// tell deletion from damage. Restart still works via the scan
+	// fallback, but indexed reads and chain resolution cannot.
+	VerdictCatalogMissing = "CATALOG-MISSING"
+	// VerdictChainBroken marks a committed delta generation whose own
+	// files scrub clean but whose chain does not resolve: a base
+	// generation some ancestor needs is missing, uncommitted, corrupt,
+	// or has an unusable catalog. The generation cannot restore (chain
+	// reads walk catalogs down to the full base), so the scrub fails.
+	VerdictChainBroken = "CHAIN-BROKEN"
 )
 
 // FileReport is one file's scrub outcome.
@@ -34,8 +46,8 @@ type FileReport struct {
 }
 
 // GenReport is one generation's scrub outcome. Catalog reports the block
-// catalog's state: "none" (older writer, no catalog committed), "ok", or
-// "mismatch".
+// catalog's state: "none" (older writer, no catalog committed), "ok",
+// "missing" (pinned by the manifest but absent on disk), or "mismatch".
 type GenReport struct {
 	Base    string       `json:"base"`
 	Verdict string       `json:"verdict"`
@@ -61,7 +73,76 @@ func Fsck(fsys rt.FS, prefix string) ([]GenReport, error) {
 	for _, g := range gens {
 		reports = append(reports, fsckGen(fsys, g))
 	}
+	applyChainVerdicts(fsys, reports)
 	return reports, nil
+}
+
+// ApplyChainVerdicts runs the chain pass over externally produced
+// reports. cmd/genxfsck's quick scrub uses it so that even a
+// manifest-level pass flags delta generations whose chains cannot
+// restore.
+func ApplyChainVerdicts(fsys rt.FS, reports []GenReport) {
+	applyChainVerdicts(fsys, reports)
+}
+
+// applyChainVerdicts is the scrub's second pass: a committed delta
+// generation whose own files are clean is still unrestorable when any
+// link of its chain is bad, so it gets the CHAIN-BROKEN verdict with the
+// first bad link named. Per-generation verdicts from the first pass are
+// never downgraded — a CORRUPT delta stays CORRUPT.
+func applyChainVerdicts(fsys rt.FS, reports []GenReport) {
+	byBase := make(map[string]*GenReport, len(reports))
+	for i := range reports {
+		byBase[reports[i].Base] = &reports[i]
+	}
+	for i := range reports {
+		rep := &reports[i]
+		if rep.Verdict != VerdictOK && rep.Verdict != VerdictRepaired {
+			continue
+		}
+		m, err := Load(fsys, rep.Base)
+		if err != nil || m.ChainDepth == 0 {
+			continue
+		}
+		if link, detail := brokenLink(fsys, byBase, m); link != "" {
+			rep.Verdict = VerdictChainBroken
+			rep.Files = append(rep.Files, FileReport{Name: link, Status: "chain-broken", Detail: detail})
+		}
+	}
+}
+
+// brokenLink walks a delta manifest's ancestry and returns the first
+// base generation the chain cannot restore through, with a reason —
+// or "" if every link down to the full base is usable.
+func brokenLink(fsys rt.FS, byBase map[string]*GenReport, m *Manifest) (link, detail string) {
+	seen := map[string]bool{m.Base: true}
+	for depth := 0; m.ChainDepth > 0; depth++ {
+		base := m.BaseGeneration
+		if seen[base] || depth >= maxChainDepth {
+			return base, "chain revisits itself"
+		}
+		seen[base] = true
+		rep, ok := byBase[base]
+		if !ok {
+			return base, "base generation has no files on disk"
+		}
+		switch rep.Verdict {
+		case VerdictUncommitted:
+			return base, "base generation is uncommitted"
+		case VerdictCorrupt:
+			return base, "base generation is corrupt"
+		case VerdictCatalogMismatch, VerdictCatalogMissing:
+			// Chain reads resolve panes through each link's catalog; a
+			// base whose index is absent or lying cannot serve its share.
+			return base, "base generation's catalog is unusable"
+		}
+		next, err := Load(fsys, base)
+		if err != nil {
+			return base, err.Error()
+		}
+		m = next
+	}
+	return "", ""
 }
 
 func fsckGen(fsys rt.FS, g Generation) GenReport {
@@ -92,12 +173,17 @@ func fsckGen(fsys rt.FS, g Generation) GenReport {
 				rep.Catalog = status
 				if status != "ok" {
 					// Damaged data files already make the generation
-					// CORRUPT; only a clean generation with a lying index
-					// downgrades to CATALOG-MISMATCH.
+					// CORRUPT; only a clean generation with a bad index
+					// downgrades — to CATALOG-MISSING when the pinned blob
+					// is simply absent, CATALOG-MISMATCH when it lies.
 					if rep.Verdict == VerdictOK {
-						rep.Verdict = VerdictCatalogMismatch
+						if status == "missing" {
+							rep.Verdict = VerdictCatalogMissing
+						} else {
+							rep.Verdict = VerdictCatalogMismatch
+						}
 					}
-					rep.Files = append(rep.Files, FileReport{Name: m.Catalog.Name, Status: "mismatch", Detail: detail})
+					rep.Files = append(rep.Files, FileReport{Name: m.Catalog.Name, Status: status, Detail: detail})
 				}
 			}
 		}
@@ -157,6 +243,11 @@ func scrubFile(fsys rt.FS, e FileEntry) FileReport {
 func scrubCatalog(fsys rt.FS, m *Manifest) (status, detail string) {
 	f, err := fsys.Open(m.Catalog.Name)
 	if err != nil {
+		if errors.Is(err, rt.ErrNotExist) {
+			// The manifest pins a blob that is not there at all — report
+			// absence distinctly from a blob that exists but disagrees.
+			return "missing", err.Error()
+		}
 		return "mismatch", err.Error()
 	}
 	size, err := f.Size()
@@ -246,11 +337,12 @@ func Format(reports []GenReport) string {
 	return b.String()
 }
 
-// Clean reports whether no generation was found corrupt or carrying a
-// mismatched catalog.
+// Clean reports whether no generation was found corrupt, carrying a
+// mismatched or missing catalog, or chained to an unrestorable base.
 func Clean(reports []GenReport) bool {
 	for _, rep := range reports {
-		if rep.Verdict == VerdictCorrupt || rep.Verdict == VerdictCatalogMismatch {
+		switch rep.Verdict {
+		case VerdictCorrupt, VerdictCatalogMismatch, VerdictCatalogMissing, VerdictChainBroken:
 			return false
 		}
 	}

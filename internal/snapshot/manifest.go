@@ -77,6 +77,34 @@ type Manifest struct {
 	// replicas — so the restore walk attempts it even when Verify fails.
 	// Zero on manifests committed by older writers (treated as 1).
 	Replication int `json:"replication,omitempty"`
+	// BaseGeneration names the committed generation this delta resolves
+	// against: panes not rewritten here are read from the base (which may
+	// itself be a delta — the chain walks down to a full generation).
+	// Empty on full generations.
+	BaseGeneration string `json:"base_generation,omitempty"`
+	// ChainDepth is the generation's distance from its full base: 0 for a
+	// full generation, base's depth + 1 for a delta. It bounds the chain
+	// walk and is what the restart counters report.
+	ChainDepth int `json:"chain_depth,omitempty"`
+	// Panes records the generation's global pane universe per window —
+	// every pane a restart of this generation must restore, whether it
+	// was rewritten here or inherited from the chain. Delta generations
+	// need it because the file set alone no longer spells out the
+	// universe (a pane deleted by refinement must not resurrect from a
+	// base generation). Absent on full generations, whose files are the
+	// universe.
+	Panes map[string][]int `json:"panes,omitempty"`
+}
+
+// ChainInfo carries the delta-chain facts CommitChained records in the
+// manifest of a delta generation.
+type ChainInfo struct {
+	// Base is the committed generation this delta resolves against.
+	Base string
+	// Depth is this generation's chain depth (base's depth + 1).
+	Depth int
+	// Panes is the global pane universe per window at snapshot time.
+	Panes map[string][]int
 }
 
 // Commit writes the commit record for the generation under base: it
@@ -86,11 +114,31 @@ type Manifest struct {
 // barrier). Committing a generation with no files is an error — there is
 // nothing to restore.
 func Commit(fsys rt.FS, base string, epoch int64, tm float64) (*Manifest, error) {
+	return CommitChained(fsys, base, epoch, tm, nil)
+}
+
+// CommitChained is Commit for a delta generation: chain records the base
+// generation the delta resolves against, its chain depth, and the global
+// pane universe at snapshot time. A nil chain commits a full generation
+// (exactly Commit). A delta generation may legitimately have no files —
+// nothing was dirty — because its restorable state lives in the chain.
+func CommitChained(fsys rt.FS, base string, epoch int64, tm float64, chain *ChainInfo) (*Manifest, error) {
 	names, err := fsys.List(base + "_")
 	if err != nil {
 		return nil, fmt.Errorf("snapshot: commit %s: %w", base, err)
 	}
 	m := &Manifest{Schema: ManifestSchema, Base: base, Epoch: epoch, Time: tm}
+	if chain != nil {
+		if chain.Base == "" || chain.Base == base {
+			return nil, fmt.Errorf("snapshot: commit %s: invalid chain base %q", base, chain.Base)
+		}
+		if chain.Depth < 1 {
+			return nil, fmt.Errorf("snapshot: commit %s: invalid chain depth %d", base, chain.Depth)
+		}
+		m.BaseGeneration = chain.Base
+		m.ChainDepth = chain.Depth
+		m.Panes = chain.Panes
+	}
 	cat := &catalog.Catalog{}
 	for _, name := range names {
 		if !strings.HasSuffix(name, ".rhdf") {
@@ -103,7 +151,7 @@ func Commit(fsys rt.FS, base string, epoch int64, tm float64) (*Manifest, error)
 		m.Files = append(m.Files, FileEntry{Name: name, Size: size, DirCRC: crc, Datasets: len(sets)})
 		cat.AddFile(name, sets)
 	}
-	if len(m.Files) == 0 {
+	if len(m.Files) == 0 && chain == nil {
 		return nil, fmt.Errorf("snapshot: commit %s: no snapshot files", base)
 	}
 	m.Replication = 1
@@ -160,12 +208,59 @@ func Load(fsys rt.FS, base string) (*Manifest, error) {
 			return nil, fmt.Errorf("snapshot: manifest %s: %w", base, err)
 		}
 	}
-	m := &Manifest{}
-	if err := json.Unmarshal(buf, m); err != nil {
+	m, err := DecodeManifest(buf)
+	if err != nil {
 		return nil, fmt.Errorf("snapshot: manifest %s: %w", base, err)
 	}
+	return m, nil
+}
+
+// DecodeManifest parses and validates manifest JSON. It is the single
+// entry point for untrusted manifest bytes (Load, the fsck scrub, the
+// fuzzer): beyond the schema check it enforces the chain invariants —
+// depth and base name must agree, a generation cannot base on itself,
+// and the recorded pane universe must be well-formed — so downstream
+// chain walks never see a manifest that lies about its own shape.
+func DecodeManifest(buf []byte) (*Manifest, error) {
+	m := &Manifest{}
+	if err := json.Unmarshal(buf, m); err != nil {
+		return nil, err
+	}
 	if m.Schema != ManifestSchema {
-		return nil, fmt.Errorf("snapshot: manifest %s has schema %q, want %q", base, m.Schema, ManifestSchema)
+		return nil, fmt.Errorf("schema %q, want %q", m.Schema, ManifestSchema)
+	}
+	if m.Base == "" {
+		return nil, fmt.Errorf("empty base")
+	}
+	if m.ChainDepth < 0 {
+		return nil, fmt.Errorf("negative chain depth %d", m.ChainDepth)
+	}
+	if (m.BaseGeneration != "") != (m.ChainDepth > 0) {
+		return nil, fmt.Errorf("chain depth %d disagrees with base generation %q", m.ChainDepth, m.BaseGeneration)
+	}
+	if m.BaseGeneration == m.Base && m.Base != "" {
+		return nil, fmt.Errorf("generation %q chained to itself", m.Base)
+	}
+	if m.Panes != nil && m.ChainDepth == 0 {
+		return nil, fmt.Errorf("full generation carries a delta pane universe")
+	}
+	for w, ids := range m.Panes {
+		if w == "" {
+			return nil, fmt.Errorf("pane universe with empty window name")
+		}
+		for _, id := range ids {
+			if id < 0 {
+				return nil, fmt.Errorf("pane universe %q has negative pane %d", w, id)
+			}
+		}
+	}
+	for _, e := range m.Files {
+		if e.Name == "" {
+			return nil, fmt.Errorf("file entry with empty name")
+		}
+		if e.Size < 0 {
+			return nil, fmt.Errorf("file %q has negative size %d", e.Name, e.Size)
+		}
 	}
 	return m, nil
 }

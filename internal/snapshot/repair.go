@@ -39,7 +39,8 @@ func Repair(fsys rt.FS, prefix string) ([]GenReport, error) {
 	reports := make([]GenReport, 0, len(gens))
 	for _, g := range gens {
 		rep := fsckGen(fsys, g)
-		if rep.Verdict == VerdictCorrupt || rep.Verdict == VerdictCatalogMismatch {
+		switch rep.Verdict {
+		case VerdictCorrupt, VerdictCatalogMismatch, VerdictCatalogMissing:
 			if fixed := repairGen(fsys, rep); len(fixed) > 0 {
 				fresh := fsckGen(fsys, g)
 				if fresh.Verdict == VerdictOK {
@@ -51,6 +52,10 @@ func Repair(fsys rt.FS, prefix string) ([]GenReport, error) {
 		}
 		reports = append(reports, rep)
 	}
+	// The chain pass runs after every per-generation repair so a delta
+	// whose base was just rebuilt comes out clean, and one whose base is
+	// beyond repair comes out CHAIN-BROKEN.
+	applyChainVerdicts(fsys, reports)
 	return reports, nil
 }
 

@@ -147,17 +147,40 @@ func Restore(fsys rt.FS, prefix string, try func(base string) error, opts Option
 			// directory; one rank does it and shares the verdict.
 			if opts.Comm == nil || opts.Comm.Rank() == 0 {
 				m, err := Load(fsys, g.Base)
-				if err != nil {
+				switch {
+				case err != nil:
 					ok = false
 					lastErr = err
-				} else if verr := m.Verify(fsys); verr != nil && m.Replication <= 1 {
-					// A replicated generation (Replication > 1) is still
-					// attempted with damaged or missing files: the read
-					// path retries each pane against its replicas, and the
-					// attempt itself fails — falling back — only when some
-					// pane is bad in every copy.
-					ok = false
-					lastErr = verr
+				case m.ChainDepth > 0:
+					// A delta generation restores through its chain: every
+					// link down to the full base must be committed and
+					// loadable, and each link's files verify with the same
+					// per-link replication tolerance a full generation gets.
+					// A broken link fails the whole head — the walk falls
+					// back to an older (possibly full) generation.
+					chain, cerr := LoadChain(fsys, g.Base)
+					if cerr != nil {
+						ok = false
+						lastErr = cerr
+						break
+					}
+					for _, link := range chain {
+						if verr := link.Manifest.Verify(fsys); verr != nil && link.Manifest.Replication <= 1 {
+							ok = false
+							lastErr = verr
+							break
+						}
+					}
+				default:
+					if verr := m.Verify(fsys); verr != nil && m.Replication <= 1 {
+						// A replicated generation (Replication > 1) is still
+						// attempted with damaged or missing files: the read
+						// path retries each pane against its replicas, and the
+						// attempt itself fails — falling back — only when some
+						// pane is bad in every copy.
+						ok = false
+						lastErr = verr
+					}
 				}
 			}
 			if opts.Comm != nil {
@@ -193,8 +216,13 @@ func Restore(fsys rt.FS, prefix string, try func(base string) error, opts Option
 // Prune removes all artifacts of generations older than the newest
 // retain ones — snapshot files, staged temporaries, and the manifest,
 // which goes first so a crash mid-prune leaves the generation visibly
-// uncommitted rather than silently partial. retain <= 0 keeps everything.
-// It returns the bases removed.
+// uncommitted rather than silently partial. A generation referenced by
+// a retained delta chain is pinned: the transitive BaseGeneration
+// closure of every kept committed generation survives, however old, so
+// a delta is never pruned out from under its children. Files already
+// gone are tolerated (a crashed or concurrent prune can simply be
+// re-run). retain <= 0 keeps everything. It returns the removed bases
+// in sorted (oldest-first) order.
 func Prune(fsys rt.FS, prefix string, retain int) ([]string, error) {
 	if retain <= 0 {
 		return nil, nil
@@ -206,40 +234,76 @@ func Prune(fsys rt.FS, prefix string, retain int) ([]string, error) {
 	if len(gens) <= retain {
 		return nil, nil
 	}
+	// Pin the chain ancestry of every retained committed generation.
+	// An unreadable manifest contributes no links — its chain is already
+	// unrestorable, so nothing extra needs protecting.
+	pinned := make(map[string]bool)
+	queue := make([]string, 0, retain)
+	for _, g := range gens[:retain] {
+		if g.Committed {
+			queue = append(queue, g.Base)
+		}
+	}
+	for len(queue) > 0 {
+		base := queue[0]
+		queue = queue[1:]
+		m, err := Load(fsys, base)
+		if err != nil || m.BaseGeneration == "" || pinned[m.BaseGeneration] {
+			continue
+		}
+		pinned[m.BaseGeneration] = true
+		queue = append(queue, m.BaseGeneration)
+	}
+	// remove tolerates rt.ErrNotExist: a prune interrupted after some
+	// removals (or racing a concurrent prune) must be re-runnable.
+	remove := func(name string) error {
+		if err := fsys.Remove(name); err != nil && !errors.Is(err, rt.ErrNotExist) {
+			return err
+		}
+		return nil
+	}
 	var removed []string
 	for _, g := range gens[retain:] {
+		if pinned[g.Base] {
+			continue
+		}
 		if g.Committed {
-			if err := fsys.Remove(g.Base + Suffix); err != nil {
-				return removed, err
+			if err := remove(g.Base + Suffix); err != nil {
+				return sorted(removed), err
 			}
 		}
 		// The catalog blob goes right after the manifest so a pruned
 		// generation leaves no orphaned index behind; older generations
 		// (and crash windows before catalog.Write) have none.
-		if err := fsys.Remove(g.Base + catalog.Suffix); err != nil && !errors.Is(err, rt.ErrNotExist) {
-			return removed, err
+		if err := remove(g.Base + catalog.Suffix); err != nil {
+			return sorted(removed), err
 		}
-		if err := fsys.Remove(g.Base + catalog.Suffix + hdf.TmpSuffix); err != nil && !errors.Is(err, rt.ErrNotExist) {
-			return removed, err
+		if err := remove(g.Base + catalog.Suffix + hdf.TmpSuffix); err != nil {
+			return sorted(removed), err
 		}
 		names, err := fsys.List(g.Base + "_")
 		if err != nil {
-			return removed, err
+			return sorted(removed), err
 		}
 		for _, name := range names {
 			if baseOf(name) != g.Base {
 				continue
 			}
-			if err := fsys.Remove(name); err != nil {
-				return removed, err
+			if err := remove(name); err != nil {
+				return sorted(removed), err
 			}
 		}
 		// Staged manifest residue (base.manifest.tmp) sits outside the
 		// base+"_" namespace.
-		if err := fsys.Remove(g.Base + Suffix + hdf.TmpSuffix); err != nil && !errors.Is(err, rt.ErrNotExist) {
-			return removed, err
+		if err := remove(g.Base + Suffix + hdf.TmpSuffix); err != nil {
+			return sorted(removed), err
 		}
 		removed = append(removed, g.Base)
 	}
-	return removed, nil
+	return sorted(removed), nil
+}
+
+func sorted(names []string) []string {
+	sort.Strings(names)
+	return names
 }

@@ -12,16 +12,27 @@ import (
 
 // PaneUniverse returns the sorted set of pane IDs a committed generation
 // holds for a window — the input to the M×N repartitioner, which lets a
-// restart run use a different rank count than the writing run. The catalog
-// answers without touching data files; generations without a usable
+// restart run use a different rank count than the writing run. A delta
+// generation answers from the universe its manifest recorded at snapshot
+// time (the files alone cannot: most panes live down the chain, and a
+// pane deleted by refinement must not resurrect from a base generation).
+// Full generations answer from the catalog; ones without a usable
 // catalog fall back to walking the manifested files' directories.
 func PaneUniverse(fsys rt.FS, base, window string) ([]int, error) {
+	m, err := Load(fsys, base)
+	if err == nil && m.ChainDepth > 0 {
+		ids := append([]int(nil), m.Panes[window]...)
+		if len(ids) == 0 {
+			return nil, fmt.Errorf("snapshot: delta generation %s records no panes in window %q", base, window)
+		}
+		sort.Ints(ids)
+		return ids, nil
+	}
 	if cat, err := catalog.Load(fsys, base); err == nil {
 		if ids := cat.Panes(window); len(ids) > 0 {
 			return ids, nil
 		}
 	}
-	m, err := Load(fsys, base)
 	if err != nil {
 		return nil, fmt.Errorf("snapshot: pane universe of %s: %w", base, err)
 	}
