@@ -6,7 +6,11 @@
 // the serverless modules) grows, by more than the tolerance. The bytes
 // gate is what keeps the delta-snapshot entries honest: a chain that
 // silently ships clean panes again shows up as byte growth long before it
-// costs visible seconds. The simulated platform is deterministic in its
+// costs visible seconds. Entries that ran the unified I/O scheduler are
+// additionally gated on iosched.write.overlap_seconds: background-drain
+// work that stops overlapping with computation (the scheduler degenerating
+// to a synchronous drain) shows up as overlap shrink before it shows up as
+// visible seconds. The simulated platform is deterministic in its
 // seed, so drift beyond the tolerance is a code change, not noise — the
 // tolerance only absorbs intentional small cost-model adjustments.
 //
@@ -32,10 +36,19 @@ type benchFile struct {
 		SyncWait       float64 `json:"sync_wait_seconds"`
 		ThroughputMBps float64 `json:"throughput_mbps"`
 		Metrics        struct {
-			Counters map[string]int64 `json:"counters"`
+			Counters   map[string]int64 `json:"counters"`
+			Histograms map[string]struct {
+				Count int64   `json:"count"`
+				Sum   float64 `json:"sum"`
+			} `json:"histograms"`
 		} `json:"metrics"`
 	} `json:"ios"`
 }
+
+// overlapSeconds is the gated scheduler-overlap sum: seconds of write-class
+// work the unified scheduler ran concurrently with computation. Zero on
+// entries that never ran an async engine; those skip the gate.
+const overlapMetric = "iosched.write.overlap_seconds"
 
 // bytesWritten is the gated on-disk byte count: the Rocpanda server drain
 // counter when the module has servers, the store-level counter otherwise.
@@ -88,7 +101,7 @@ func main() {
 		curByIO[io.IO] = i
 	}
 	bad := false
-	fmt.Printf("%-16s %22s %22s %22s %24s\n", "module", "visible_write_seconds", "visible_read_seconds", "throughput_mbps", "bytes_written")
+	fmt.Printf("%-16s %22s %22s %22s %24s %22s\n", "module", "visible_write_seconds", "visible_read_seconds", "throughput_mbps", "bytes_written", "sched_overlap_seconds")
 	for _, b := range base.IOs {
 		i, ok := curByIO[b.IO]
 		if !ok {
@@ -98,22 +111,25 @@ func main() {
 		}
 		c := cur.IOs[i]
 		bw, cw := bytesWritten(b.Metrics.Counters), bytesWritten(c.Metrics.Counters)
+		bov, cov := b.Metrics.Histograms[overlapMetric].Sum, c.Metrics.Histograms[overlapMetric].Sum
 		vwBad := b.VisibleWrite > 0 && c.VisibleWrite > b.VisibleWrite*(1+*tol)
 		vrBad := b.VisibleRead > 0 && c.VisibleRead > b.VisibleRead*(1+*tol)
 		tpBad := b.ThroughputMBps > 0 && c.ThroughputMBps < b.ThroughputMBps*(1-*tol)
 		bwBad := bw > 0 && float64(cw) > float64(bw)*(1+*tol)
+		ovBad := bov > 0 && cov < bov*(1-*tol)
 		mark := func(regressed bool) string {
 			if regressed {
 				return " REGRESSED"
 			}
 			return ""
 		}
-		fmt.Printf("%-16s %10.4f -> %8.4f%s %10.4f -> %8.4f%s %9.1f -> %8.1f%s %10d -> %10d%s\n",
+		fmt.Printf("%-16s %10.4f -> %8.4f%s %10.4f -> %8.4f%s %9.1f -> %8.1f%s %10d -> %10d%s %9.4f -> %8.4f%s\n",
 			b.IO, b.VisibleWrite, c.VisibleWrite, mark(vwBad),
 			b.VisibleRead, c.VisibleRead, mark(vrBad),
 			b.ThroughputMBps, c.ThroughputMBps, mark(tpBad),
-			bw, cw, mark(bwBad))
-		bad = bad || vwBad || vrBad || tpBad || bwBad
+			bw, cw, mark(bwBad),
+			bov, cov, mark(ovBad))
+		bad = bad || vwBad || vrBad || tpBad || bwBad || ovBad
 	}
 	if bad {
 		fmt.Fprintf(os.Stderr, "comparebench: performance regressed beyond %.0f%% of the committed baseline\n", *tol*100)

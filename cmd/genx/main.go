@@ -29,7 +29,7 @@ func main() {
 	pread := flag.Bool("pread", false, "Rocpanda: serve restart reads from a parallel read-worker pool (overlap disk reads with shipping)")
 	replicate := flag.Int("replicate", 1, "Rocpanda: copies of each pane per snapshot generation; R>=2 survives file loss without a generation fallback")
 	deltaSnap := flag.Bool("delta", false, "Rocpanda: incremental snapshots — ship only panes dirtied since their last ship, committing delta generations chained to the previous one")
-	fullEvery := flag.Int("full-every", 4, "Rocpanda: with -delta, force a full snapshot every k generations (bounds chain depth; <=0 keeps only the first full)")
+	fullEvery := flag.Int("full-every", 4, "Rocpanda: with -delta, force a full snapshot every k generations (bounds chain depth; must be >= 1)")
 	steps := flag.Int("steps", 20, "timesteps")
 	snapEvery := flag.Int("snap-every", 10, "snapshot interval in steps")
 	scale := flag.Float64("scale", 0.05, "lab-scale mesh scale in (0,1]")
@@ -81,6 +81,11 @@ func main() {
 			DeltaSnapshots:    *deltaSnap,
 			FullEvery:         *fullEvery,
 		},
+	}
+	// Fail bad flag combinations with a typed message instead of letting
+	// the library silently clamp them.
+	if err := cfg.Rocpanda.Validate(); err != nil {
+		fatal(err)
 	}
 	switch *burn {
 	case "apn":

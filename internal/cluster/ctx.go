@@ -79,6 +79,8 @@ func (s *simQueue) Put(c rt.Clock, v interface{}) { s.q.Put(procOf(c), v) }
 
 func (s *simQueue) Get(c rt.Clock) (interface{}, bool) { return s.q.Get(procOf(c)) }
 
+func (s *simQueue) TryGet(c rt.Clock) (interface{}, bool) { return s.q.TryGet(procOf(c)) }
+
 func (s *simQueue) Close() { s.q.Close() }
 
 // simEndpoint implements mpi.Endpoint with the platform's network model.

@@ -35,8 +35,15 @@ import (
 // snapshots: only panes dirtied since their last ship are written,
 // committed as generations chained to the previous one) plus the delta
 // counters (rocpanda.write.dirty_panes, .clean_panes,
-// .delta_bytes_saved) and the rocpanda.restart.chain_depth gauge.
-const BenchSchema = "genxio-bench/v7"
+// .delta_bytes_saved) and the rocpanda.restart.chain_depth gauge. v8
+// added the rocpanda-sched entry (async drain and parallel restart reads
+// together, both served by the unified internal/iosched scheduler) and
+// the scheduler's per-class metrics — iosched.<class>.{queue_depth,
+// backpressure_waits, overlap_seconds, errors, busy_seconds, tasks} for
+// the write/read/scan classes — on every entry that exercises an engine;
+// the old rocpanda.drain.* / rocpanda.read.* names remain as views of
+// the same events.
+const BenchSchema = "genxio-bench/v8"
 
 // BenchOpts configures the observability bench: one small integrated run
 // per I/O module on the simulated Turing platform, with a metrics
@@ -132,6 +139,11 @@ func RunBench(opts BenchOpts) (*BenchResult, error) {
 		// of the simulated NFS overlaps and the measured restart (visible
 		// read) drops at bit-identical restored state.
 		{"rocpanda-pread", rocman.IORocpanda, false, true, 0, false},
+		// Both engines at once, behind the unified iosched scheduler: a
+		// write-class drain instance and read/scan-class restart instances
+		// share the scheduler core (per-instance budgets), exercising the
+		// iosched.<class>.* metric surface in one run.
+		{"rocpanda-sched", rocman.IORocpanda, true, true, 0, false},
 		// And with pane replication at R=2: every server also writes a
 		// byte-identical replica of its file to another server's home, so
 		// a lost or corrupt primary restarts from the same generation.
@@ -192,6 +204,11 @@ func RunBench(opts BenchOpts) (*BenchResult, error) {
 				cfg.Rocpanda.DeltaSnapshots = true
 				cfg.Rocpanda.FullEvery = 4
 			}
+			// The same check cmd/genx runs on its flags: a bad bench
+			// matrix entry fails loudly instead of being silently clamped.
+			if err := cfg.Rocpanda.Validate(); err != nil {
+				return nil, fmt.Errorf("bench %s: %w", ent.name, err)
+			}
 			total += m
 		}
 		rep, _, err := runOnce(plat, opts.Seed, plat.CPUsPerNode, total, cfg)
@@ -246,6 +263,13 @@ func (r *BenchResult) Format() string {
 			fmt.Fprintf(&b, "%-10s drained %d blocks (%.3fs total, %.3fs overlapped), queue peak %.0f blocks, %d backpressure waits\n",
 				io.IO, d.Count, d.Sum, ov.Sum, s.Gauges["rocpanda.drain.queue_depth"],
 				s.Counters["rocpanda.drain.backpressure_waits"])
+		case "rocpanda-sched":
+			wov := s.Histograms["iosched.write.overlap_seconds"]
+			rov := s.Histograms["iosched.read.overlap_seconds"]
+			fmt.Fprintf(&b, "%-10s unified scheduler: %d write tasks (%.3fs overlapped), %d read + %d scan tasks (%.3fs overlapped), %d waits\n",
+				io.IO, s.Counters["iosched.write.tasks"], wov.Sum,
+				s.Counters["iosched.read.tasks"], s.Counters["iosched.scan.tasks"], rov.Sum,
+				s.Counters["iosched.write.backpressure_waits"]+s.Counters["iosched.read.backpressure_waits"]+s.Counters["iosched.scan.backpressure_waits"])
 		case "rocpanda-pread":
 			ov := s.Histograms["rocpanda.read.overlap_seconds"]
 			fmt.Fprintf(&b, "%-10s restart read pool: queue peak %.0f tasks, %.3fs disk time overlapped with shipping, %d backpressure waits, %d errors, %.1f MB read\n",

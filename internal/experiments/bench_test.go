@@ -37,7 +37,7 @@ func TestBenchJSONDeterministicAndParseable(t *testing.T) {
 	if err := json.Unmarshal(ba.Bytes(), &round); err != nil {
 		t.Fatalf("bench JSON does not parse: %v", err)
 	}
-	if round.Schema != BenchSchema || len(round.IOs) != 8 {
+	if round.Schema != BenchSchema || len(round.IOs) != 9 {
 		t.Fatalf("roundtrip schema=%q ios=%d", round.Schema, len(round.IOs))
 	}
 }

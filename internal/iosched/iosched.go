@@ -1,0 +1,653 @@
+// Package iosched is the unified budgeted I/O scheduler behind every
+// background engine in the library: the Rocpanda async-drain writer pool,
+// the Rocpanda parallel restart read pool, and T-Rochdf's per-process I/O
+// thread are all thin adapters over one Engine. It realizes the paper's
+// "yield to new client requests" across request classes instead of once
+// per feature:
+//
+//   - Typed tasks. A Task carries a Class (write-block, read-extent,
+//     scan-file), a routing Key, a byte Cost, and a Run closure executed on
+//     a worker with that worker's own clock identity and filesystem view.
+//
+//   - Keyed ordering. Tasks with the same non-empty Key execute on one
+//     worker in submission order (FNV-32a of the key over the pool width) —
+//     the file-routing guarantee that keeps async-drain output
+//     byte-identical to a synchronous drain is a scheduler invariant here,
+//     not a drain-engine detail. Tasks with an empty Key are dealt
+//     round-robin by submission index.
+//
+//   - Budget admission on completion signals. Config.Budget bounds the
+//     task bytes in flight. The gate never sleep-polls: a stalled
+//     submitter blocks on the control queue and is woken by the very
+//     completion that releases budget. How the gate is applied is the
+//     pluggable Policy — Writeback stalls the submitter after enqueueing
+//     (write-through degeneration at tiny budgets), RestartRead defers
+//     admission but always admits when the pool is idle (serial
+//     degeneration at tiny budgets). Because admission is per Engine
+//     instance, a restart-read instance is serviced immediately even while
+//     a drain instance is still emptying a previous generation's queue —
+//     cross-engine overlap, not just overlap within one engine.
+//
+//   - One metrics and trace surface. The Engine owns the unified
+//     iosched.<class>.{queue_depth,backpressure_waits,overlap_seconds,
+//     errors,busy_seconds,tasks} series and emits trace spans from one
+//     place; adapters keep the legacy rocpanda.drain.* / rocpanda.read.*
+//     names populated as views of the same events.
+//
+// Concurrency contract: Submit, Flush, RunBatch and Close run on the
+// owning rank's goroutine; Run closures execute on the spawned workers.
+// The two sides share only the queues and three atomics (barrier, crashed,
+// dead), which keeps both the race detector and the deterministic
+// simulation happy.
+package iosched
+
+import (
+	"hash/fnv"
+	"sync/atomic"
+
+	"genxio/internal/metrics"
+	"genxio/internal/mpi"
+	"genxio/internal/rt"
+)
+
+// Class is a task's request class. The scheduler accounts queue depth,
+// backpressure, overlap, and errors per class.
+type Class int
+
+const (
+	// ClassWrite is a buffered-block writeback (drain engines).
+	ClassWrite Class = iota
+	// ClassRead is a planned extent read (catalog-indexed restart).
+	ClassRead
+	// ClassScan is a whole-file directory-scan fallback read.
+	ClassScan
+	numClasses
+)
+
+// String returns the metric-name label of the class.
+func (c Class) String() string {
+	switch c {
+	case ClassWrite:
+		return "write"
+	case ClassRead:
+		return "read"
+	case ClassScan:
+		return "scan"
+	}
+	return "unknown"
+}
+
+// Task is one schedulable unit of I/O work.
+type Task struct {
+	// Class selects the accounting bucket.
+	Class Class
+	// Key routes the task: equal non-empty keys serialize on one worker
+	// in submission order; an empty key deals round-robin.
+	Key string
+	// Cost is the task's byte charge against Config.Budget.
+	Cost int64
+	// Meta is opaque adapter context echoed back in the Completion.
+	Meta interface{}
+	// Run does the work on a worker, with the worker's clock and
+	// filesystem (via TaskCtx) and the worker's private state.
+	Run func(tc rt.TaskCtx, st WorkerState) Result
+}
+
+// Result is what a Task's Run returns.
+type Result struct {
+	// Err is the task's failure, if any; it becomes the worker's sticky
+	// error (reported by every later Flush) and counts in the class's
+	// error metrics.
+	Err error
+	// Value is the task's payload, handed to the completion consumer.
+	Value interface{}
+	// Fatal kills the worker after the completion is reported — an
+	// injected crash; the worker's exit message carries the verdict.
+	Fatal bool
+}
+
+// Completion reports one finished task back to the submitter. The control
+// queue handoff is the happens-before edge covering everything Run wrote.
+type Completion struct {
+	Task   *Task
+	Result Result
+	// T0 and T1 bracket Run on the worker's clock.
+	T0, T1 float64
+	// Cancelled marks a task discarded after Close (dead pool): Run never
+	// executed, only its budget is released.
+	Cancelled bool
+}
+
+// WorkerState is a worker's private per-pool state (open file handles, a
+// block sink). Flush is the barrier hook: finish and close everything so
+// prior output is durable. Close tears the state down at worker exit when
+// Config.CloseStateOnExit is set.
+type WorkerState interface {
+	Flush() error
+	Close() error
+}
+
+// noState is the default WorkerState: stateless workers.
+type noState struct{}
+
+func (noState) Flush() error { return nil }
+func (noState) Close() error { return nil }
+
+// ClassTally is one class's accumulated background totals, merged from the
+// workers at exit (plus externally-noted overlap).
+type ClassTally struct {
+	Done    int64   // tasks completed
+	Errors  int64   // failed tasks and failed flush-closes
+	Busy    float64 // seconds spent inside Run
+	Overlap float64 // Busy seconds outside any Flush barrier
+}
+
+// Config configures an Engine.
+type Config struct {
+	// Name is the spawn name of the workers (shows in simulation traces).
+	Name string
+	// Workers is the pool width, clamped to [1, MaxWorkers].
+	Workers int
+	// MaxWorkers caps Workers; <= 0 means no cap.
+	MaxWorkers int
+	// Budget bounds the task bytes in flight; <= 0 is unbounded.
+	Budget int64
+	// QueueCap is each worker's job-queue capacity (>= 1).
+	QueueCap int
+	// CtlCap sizes the control queue; 0 derives a capacity large enough
+	// that no worker ever blocks reporting a completion.
+	CtlCap int
+	// Policy is the admission policy; nil defaults to Writeback.
+	Policy Policy
+	// FlushClass is the class flush-close errors account to.
+	FlushClass Class
+	// NewState builds a worker's private state; nil means stateless.
+	NewState func(wi int, tc rt.TaskCtx) WorkerState
+	// CloseStateOnExit closes the worker state on (non-panic) worker
+	// exit. Leave false when unflushed state must survive as staged
+	// output (the drain sink's crash semantics).
+	CloseStateOnExit bool
+	// FatalPanic classifies a Run panic as a worker death (true: the
+	// worker exits crashed, state unclosed) instead of a bug (false or
+	// nil: the panic propagates).
+	FatalPanic func(r interface{}) bool
+	// OverlapExternal disables the worker-side overlap accounting
+	// (Busy outside a barrier); the adapter then decides per completion
+	// and calls NoteOverlap — the restart read pool's "after first ship"
+	// rule.
+	OverlapExternal bool
+
+	// Metrics receives the unified iosched.<class>.* series; nil
+	// disables them.
+	Metrics *metrics.Registry
+	// Trace, TraceRank and TracePhase emit one span per task Run; a nil
+	// recorder disables them. TraceZeroSpans also records empty spans
+	// (t1 == t0), which the write class needs for span-per-block
+	// accounting.
+	Trace          traceRecorder
+	TraceRank      int
+	TracePhase     string
+	TraceZeroSpans bool
+
+	// OnWorkerDone observes every completion (and flush errors, with a
+	// nil Task) on the worker goroutine, before it is reported — the
+	// legacy per-event histograms live here. overlapped reports the
+	// barrier-free verdict (always false with OverlapExternal).
+	OnWorkerDone func(c Completion, overlapped bool)
+	// OnDepth observes the pool depth (tasks in flight) and queued bytes
+	// after every dispatch, on the submitter — legacy peak gauges.
+	OnDepth func(depth int, queued int64)
+	// OnWait observes every counted backpressure wait, on the submitter.
+	OnWait func(c Class)
+}
+
+// traceRecorder is the slice of trace.Recorder the engine needs; an
+// interface so a nil recorder simply disables spans without importing the
+// concrete type into every adapter signature.
+type traceRecorder interface {
+	Record(rank int, phase string, t0, t1 float64)
+}
+
+// control-queue message types (besides Completion).
+type flushToken struct{}
+type flushAck struct{ err error }
+type workerExit struct {
+	tally   [numClasses]ClassTally
+	crashed bool
+}
+
+// classMx holds one class's unified metric handles (nil-safe no-ops
+// without a registry).
+type classMx struct {
+	depth   *metrics.Gauge
+	waits   *metrics.Counter
+	overlap *metrics.Histogram
+	errors  *metrics.Counter
+	busy    *metrics.Histogram
+	tasks   *metrics.Counter
+}
+
+// Engine is one budgeted worker pool. See the package comment for the
+// concurrency contract.
+type Engine struct {
+	cfg    Config
+	clock  rt.Clock // the submitter's clock identity
+	nw     int
+	budget int64
+	policy Policy
+	jobs   []rt.Queue
+	ctl    rt.Queue
+
+	barrier atomic.Bool // a Flush is in progress (work then isn't overlap)
+	crashed atomic.Bool // a worker died (injected crash)
+	dead    atomic.Bool // pool closed: workers cancel instead of running
+
+	// Submitter-goroutine-only state.
+	queued      int64
+	depth       int
+	classDepth  [numClasses]int
+	rr          int // round-robin cursor for unkeyed tasks
+	lastStalled int // RunBatch: index of the last wait-counted task
+	exited      int
+	closed      bool
+	tally       [numClasses]ClassTally // merged worker tallies (after exits)
+	ext         [numClasses]float64    // externally-noted overlap seconds
+	mx          [numClasses]classMx
+}
+
+// New builds the pool and spawns its workers.
+func New(ctx mpi.Ctx, cfg Config) *Engine {
+	nw := cfg.Workers
+	if nw < 1 {
+		nw = 1
+	}
+	if cfg.MaxWorkers > 0 && nw > cfg.MaxWorkers {
+		nw = cfg.MaxWorkers
+	}
+	qcap := cfg.QueueCap
+	if qcap < 1 {
+		qcap = 1
+	}
+	ctlCap := cfg.CtlCap
+	if ctlCap <= 0 {
+		// One slot per possibly-outstanding task plus every ack and exit:
+		// a worker never blocks reporting, so a stalled or absent
+		// submitter can never wedge the pool.
+		ctlCap = nw*qcap + 2*nw + 4
+	}
+	pol := cfg.Policy
+	if pol == nil {
+		pol = Writeback{}
+	}
+	e := &Engine{
+		cfg:         cfg,
+		clock:       ctx.Clock(),
+		nw:          nw,
+		budget:      cfg.Budget,
+		policy:      pol,
+		ctl:         ctx.NewQueue(ctlCap),
+		lastStalled: -1,
+	}
+	for c := Class(0); c < numClasses; c++ {
+		e.mx[c] = newClassMx(cfg.Metrics, c)
+	}
+	// All queues exist before any worker starts: a worker indexes e.jobs,
+	// and growing the slice under it would race.
+	for wi := 0; wi < nw; wi++ {
+		e.jobs = append(e.jobs, ctx.NewQueue(qcap))
+	}
+	for wi := 0; wi < nw; wi++ {
+		wi := wi
+		ctx.Spawn(cfg.Name, func(tc rt.TaskCtx) { e.runWorker(wi, tc) })
+	}
+	return e
+}
+
+func newClassMx(r *metrics.Registry, c Class) classMx {
+	if r == nil {
+		return classMx{}
+	}
+	p := "iosched." + c.String() + "."
+	return classMx{
+		depth:   r.Gauge(p + "queue_depth"),
+		waits:   r.Counter(p + "backpressure_waits"),
+		overlap: r.Histogram(p+"overlap_seconds", nil),
+		errors:  r.Counter(p + "errors"),
+		busy:    r.Histogram(p+"busy_seconds", nil),
+		tasks:   r.Counter(p + "tasks"),
+	}
+}
+
+// Workers returns the clamped pool width.
+func (e *Engine) Workers() int { return e.nw }
+
+// Crashed reports whether a worker died to an injected crash.
+func (e *Engine) Crashed() bool { return e.crashed.Load() }
+
+// Tally returns a class's merged totals. Complete only after Close (or,
+// for externally-noted overlap, after the rounds that note it).
+func (e *Engine) Tally(c Class) ClassTally {
+	t := e.tally[c]
+	t.Overlap += e.ext[c]
+	return t
+}
+
+// NoteOverlap records class overlap decided by the adapter (only
+// meaningful with Config.OverlapExternal). Submitter goroutine.
+func (e *Engine) NoteOverlap(c Class, seconds float64) {
+	e.ext[c] += seconds
+	e.mx[c].overlap.Observe(seconds)
+}
+
+// route assigns a task to a worker: FNV-32a of the key, or round-robin by
+// submission index when unkeyed. Stable by key, so one key's tasks always
+// execute on one worker, in submission order.
+func (e *Engine) route(t *Task) int {
+	if t.Key == "" {
+		wi := e.rr % e.nw
+		e.rr++
+		return wi
+	}
+	h := fnv.New32a()
+	h.Write([]byte(t.Key))
+	return int(h.Sum32() % uint32(e.nw))
+}
+
+// reapReady drains every completion signal that is already available,
+// without blocking, so the submitter's depth and byte accounting track the
+// workers' actual progress at each submit point. Stale flush acks (from a
+// barrier a crash interrupted) are dropped.
+func (e *Engine) reapReady() {
+	for {
+		v, ok := e.ctl.TryGet(e.clock)
+		if !ok {
+			return
+		}
+		switch msg := v.(type) {
+		case Completion:
+			e.noteCompletion(msg)
+		case workerExit:
+			e.noteExit(msg)
+		}
+	}
+}
+
+// SubmitInfo reports a Submit's admission accounting to the adapter.
+type SubmitInfo struct {
+	Queued int64 // bytes in flight after this submit
+	Depth  int   // tasks in flight after this submit
+	Waited bool  // the submitter was held for budget
+}
+
+// Submit dispatches one task in streaming mode (drain engines): the task
+// is always enqueued, then the submitter is held on completion signals
+// while the policy says the queue is over budget. Ready completions are
+// reaped (without blocking) first, so depth and byte accounting track the
+// workers' progress at every submit point. Submitter goroutine.
+func (e *Engine) Submit(t *Task) SubmitInfo {
+	e.reapReady()
+	e.queued += t.Cost
+	e.depth++
+	e.classDepth[t.Class]++
+	e.noteDepth(t.Class)
+	info := SubmitInfo{Queued: e.queued, Depth: e.depth}
+	// Whether this submit overruns the budget is decided here, before the
+	// workers can race the check: the wait accounting stays deterministic.
+	hold := e.policy.HoldSubmitter(e.queued, e.budget)
+	if hold {
+		info.Waited = true
+		e.countWait(t.Class)
+	}
+	e.jobs[e.route(t)].Put(e.clock, t)
+	for hold && e.queued > e.budget && !e.crashed.Load() {
+		v, ok := e.ctl.Get(e.clock)
+		if !ok {
+			break
+		}
+		switch msg := v.(type) {
+		case Completion:
+			e.noteCompletion(msg)
+		case workerExit:
+			e.noteExit(msg)
+		}
+	}
+	return info
+}
+
+// Flush is the barrier: every worker finishes its queue, flushes its state
+// (closing files), and acks with its sticky error; the first one is
+// returned. Work done under the barrier is not overlap. If a worker
+// crashed (before or during the flush) Flush returns early — check
+// Crashed. Submitter goroutine.
+func (e *Engine) Flush() error {
+	if e.crashed.Load() {
+		return nil
+	}
+	e.barrier.Store(true)
+	defer e.barrier.Store(false)
+	for _, q := range e.jobs {
+		q.Put(e.clock, flushToken{})
+	}
+	var err error
+	for acks := 0; acks < e.nw; {
+		v, ok := e.ctl.Get(e.clock)
+		if !ok {
+			break
+		}
+		switch msg := v.(type) {
+		case Completion:
+			e.noteCompletion(msg)
+		case flushAck:
+			acks++
+			if msg.err != nil && err == nil {
+				err = msg.err
+			}
+		case workerExit:
+			// A worker can only exit mid-run by crashing; the barrier
+			// cannot complete.
+			e.noteExit(msg)
+			return err
+		}
+	}
+	return err
+}
+
+// RunBatch executes a bounded task list (restart read rounds): admission
+// interleaves with consumption, and every non-cancelled completion is
+// handed to onDone on the submitter goroutine. Admission always wins while
+// the policy allows it, so the queues stay full and the workers never
+// starve; a deferred task blocks the loop on one completion signal, which
+// both releases budget and lets earlier results ship while later work is
+// still on disk. Returns early if a worker crashed. Submitter goroutine.
+func (e *Engine) RunBatch(tasks []*Task, onDone func(Completion)) {
+	for next := 0; next < len(tasks) || e.depth > 0; {
+		if next < len(tasks) {
+			t := tasks[next]
+			if e.policy.Admit(e.queued, e.budget, e.depth, t.Cost) {
+				e.jobs[e.route(t)].Put(e.clock, t)
+				e.queued += t.Cost
+				e.depth++
+				e.classDepth[t.Class]++
+				e.noteDepth(t.Class)
+				next++
+				continue
+			}
+			// Count the wait once per task, however many completions it
+			// takes to fit.
+			if e.lastStalled != next {
+				e.lastStalled = next
+				e.countWait(t.Class)
+			}
+		}
+		v, ok := e.ctl.Get(e.clock)
+		if !ok {
+			return
+		}
+		switch msg := v.(type) {
+		case Completion:
+			e.noteCompletion(msg)
+			if !msg.Cancelled && onDone != nil {
+				onDone(msg)
+			}
+		case workerExit:
+			// Mid-batch exits are crashes (queues close only after the
+			// batch); the round cannot complete.
+			e.noteExit(msg)
+			return
+		}
+	}
+}
+
+// Close tears the pool down: closes the job queues, drains the control
+// queue until every worker has exited (merging their tallies), and closes
+// the control queue — so simulation worker processes always terminate and
+// no stale message leaks into a later pool. Idempotent; submitter
+// goroutine.
+func (e *Engine) Close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	// From here on workers cancel instead of running: a dead pool's queued
+	// tasks die with it (the crashed server's buffered blocks, a torn-down
+	// read round). On the normal path the queues are already empty.
+	e.dead.Store(true)
+	for _, q := range e.jobs {
+		q.Close()
+	}
+	for e.exited < e.nw {
+		v, ok := e.ctl.Get(e.clock)
+		if !ok {
+			break
+		}
+		switch msg := v.(type) {
+		case Completion:
+			e.noteCompletion(msg)
+		case workerExit:
+			e.noteExit(msg)
+		}
+		// Stale flush acks from a barrier a crash interrupted are dropped.
+	}
+	e.ctl.Close()
+}
+
+func (e *Engine) noteDepth(c Class) {
+	e.mx[c].depth.SetMax(float64(e.classDepth[c]))
+	if e.cfg.OnDepth != nil {
+		e.cfg.OnDepth(e.depth, e.queued)
+	}
+}
+
+func (e *Engine) countWait(c Class) {
+	e.mx[c].waits.Inc()
+	if e.cfg.OnWait != nil {
+		e.cfg.OnWait(c)
+	}
+}
+
+func (e *Engine) noteCompletion(c Completion) {
+	e.queued -= c.Task.Cost
+	e.depth--
+	e.classDepth[c.Task.Class]--
+}
+
+func (e *Engine) noteExit(msg workerExit) {
+	e.exited++
+	for c := range msg.tally {
+		e.tally[c].Done += msg.tally[c].Done
+		e.tally[c].Errors += msg.tally[c].Errors
+		e.tally[c].Busy += msg.tally[c].Busy
+		e.tally[c].Overlap += msg.tally[c].Overlap
+	}
+}
+
+// runWorker is one worker's body. It owns private state (its own files,
+// clock identity and filesystem view) and local tallies, so the only
+// cross-task traffic is the queues and the engine's atomics.
+func (e *Engine) runWorker(wi int, tc rt.TaskCtx) {
+	st := WorkerState(noState{})
+	if e.cfg.NewState != nil {
+		st = e.cfg.NewState(wi, tc)
+	}
+	var tally [numClasses]ClassTally
+	var sticky error
+	crashed := false
+	defer func() {
+		if r := recover(); r != nil {
+			if e.cfg.FatalPanic == nil || !e.cfg.FatalPanic(r) {
+				panic(r)
+			}
+			// An injected crash point fired mid-Run: the owning process is
+			// dead. Flag it so the submitter stops too, and leave the
+			// state unclosed (staged temporaries), as a real process death
+			// would.
+			crashed = true
+			e.crashed.Store(true)
+		} else if e.cfg.CloseStateOnExit {
+			st.Close()
+		}
+		e.ctl.Put(tc.Clock(), workerExit{tally: tally, crashed: crashed})
+	}()
+	for {
+		v, ok := e.jobs[wi].Get(tc.Clock())
+		if !ok {
+			return
+		}
+		switch t := v.(type) {
+		case flushToken:
+			if err := st.Flush(); err != nil {
+				if sticky == nil {
+					sticky = err
+				}
+				fc := e.cfg.FlushClass
+				tally[fc].Errors++
+				e.mx[fc].errors.Inc()
+				if e.cfg.OnWorkerDone != nil {
+					e.cfg.OnWorkerDone(Completion{Result: Result{Err: err}}, false)
+				}
+			}
+			e.ctl.Put(tc.Clock(), flushAck{err: sticky})
+		case *Task:
+			if e.dead.Load() {
+				e.ctl.Put(tc.Clock(), Completion{Task: t, Cancelled: true})
+				continue
+			}
+			t0 := tc.Clock().Now()
+			res := t.Run(tc, st) // a FatalPanic in here exits via the defer
+			t1 := tc.Clock().Now()
+			c := Completion{Task: t, Result: res, T0: t0, T1: t1}
+			cl := t.Class
+			tally[cl].Done++
+			tally[cl].Busy += t1 - t0
+			e.mx[cl].busy.Observe(t1 - t0)
+			e.mx[cl].tasks.Inc()
+			overlapped := false
+			if !e.cfg.OverlapExternal && !e.barrier.Load() {
+				// Done while the submitter was free to serve requests:
+				// this is the overlap the paper claims.
+				overlapped = true
+				tally[cl].Overlap += t1 - t0
+				e.mx[cl].overlap.Observe(t1 - t0)
+			}
+			if res.Err != nil {
+				tally[cl].Errors++
+				e.mx[cl].errors.Inc()
+				if sticky == nil {
+					sticky = res.Err
+				}
+			}
+			if e.cfg.Trace != nil && (e.cfg.TraceZeroSpans || t1 > t0) {
+				e.cfg.Trace.Record(e.cfg.TraceRank, e.cfg.TracePhase, t0, t1)
+			}
+			if e.cfg.OnWorkerDone != nil {
+				e.cfg.OnWorkerDone(c, overlapped)
+			}
+			e.ctl.Put(tc.Clock(), c)
+			if res.Fatal {
+				crashed = true
+				e.crashed.Store(true)
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,372 @@
+package iosched
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"genxio/internal/metrics"
+	"genxio/internal/mpi"
+	"genxio/internal/rt"
+)
+
+// testClock is a shared virtual clock that counts Sleep calls: the
+// zero-busy-wait regression tests assert the scheduler never sleep-polls.
+type testClock struct {
+	mu     sync.Mutex
+	now    float64
+	sleeps int
+}
+
+func (c *testClock) Now() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *testClock) Sleep(d float64) {
+	c.mu.Lock()
+	c.sleeps++
+	c.now += d
+	c.mu.Unlock()
+}
+
+func (c *testClock) Compute(d float64) {
+	c.mu.Lock()
+	c.now += d
+	c.mu.Unlock()
+}
+
+func (c *testClock) sleepCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sleeps
+}
+
+// stubCtx is a minimal mpi.Ctx over goroutines and GoQueues — just enough
+// surface for the engine (Clock, Spawn, NewQueue).
+type stubCtx struct{ clock *testClock }
+
+func (s *stubCtx) Comm() mpi.Comm    { return nil }
+func (s *stubCtx) Clock() rt.Clock   { return s.clock }
+func (s *stubCtx) FS() rt.FS         { return nil }
+func (s *stubCtx) Node() int         { return 0 }
+func (s *stubCtx) ProcsPerNode() int { return 1 }
+
+func (s *stubCtx) Spawn(name string, fn func(rt.TaskCtx)) {
+	go fn(stubTaskCtx{clock: s.clock})
+}
+
+func (s *stubCtx) NewQueue(capacity int) rt.Queue { return rt.NewGoQueue(capacity) }
+
+type stubTaskCtx struct{ clock *testClock }
+
+func (t stubTaskCtx) Clock() rt.Clock { return t.clock }
+func (t stubTaskCtx) FS() rt.FS       { return nil }
+
+func newTestEngine(t *testing.T, cfg Config) (*Engine, *testClock) {
+	t.Helper()
+	clock := &testClock{}
+	return New(&stubCtx{clock: clock}, cfg), clock
+}
+
+// TestBackpressureBlocksWithoutSleeping is the satellite regression test:
+// a one-byte Writeback budget stalls every submit behind the writer, and
+// the stall must block on completion signals — zero Sleep calls anywhere,
+// on the submitter or the workers — while still counting the waits.
+func TestBackpressureBlocksWithoutSleeping(t *testing.T) {
+	reg := metrics.New()
+	waits := 0
+	eng, clock := newTestEngine(t, Config{
+		Name:     "test-drain",
+		Workers:  2,
+		Budget:   1,
+		QueueCap: 64,
+		Policy:   Writeback{},
+		Metrics:  reg,
+		OnWait:   func(Class) { waits++ },
+	})
+	var done int
+	var mu sync.Mutex
+	const n = 20
+	for i := 0; i < n; i++ {
+		info := eng.Submit(&Task{
+			Class: ClassWrite,
+			Key:   "file-a",
+			Cost:  100,
+			Run: func(rt.TaskCtx, WorkerState) Result {
+				mu.Lock()
+				done++
+				mu.Unlock()
+				return Result{}
+			},
+		})
+		if !info.Waited {
+			t.Fatalf("submit %d: expected a budget wait (queued %d over budget 1)", i, info.Queued)
+		}
+	}
+	if err := eng.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	eng.Close()
+	mu.Lock()
+	d := done
+	mu.Unlock()
+	if d != n {
+		t.Fatalf("ran %d of %d tasks", d, n)
+	}
+	if waits != n {
+		t.Fatalf("counted %d backpressure waits, want %d", waits, n)
+	}
+	if got := clock.sleepCount(); got != 0 {
+		t.Fatalf("scheduler took %d busy-wait sleeps under backpressure, want 0", got)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["iosched.write.backpressure_waits"]; got != n {
+		t.Fatalf("iosched.write.backpressure_waits = %d, want %d", got, n)
+	}
+	if got := eng.Tally(ClassWrite).Done; got != n {
+		t.Fatalf("tally done = %d, want %d", got, n)
+	}
+}
+
+// TestKeyedOrdering checks the scheduler invariant the drain engine's
+// bit-exactness rests on: tasks sharing a key execute on one worker in
+// submission order, even across a wide pool.
+func TestKeyedOrdering(t *testing.T) {
+	eng, _ := newTestEngine(t, Config{
+		Name:     "test-order",
+		Workers:  8,
+		QueueCap: 256,
+		Policy:   Writeback{},
+	})
+	var mu sync.Mutex
+	got := make(map[string][]int)
+	keys := []string{"alpha", "beta", "gamma", "delta"}
+	const perKey = 50
+	for i := 0; i < perKey; i++ {
+		for _, key := range keys {
+			key, i := key, i
+			eng.Submit(&Task{
+				Class: ClassWrite,
+				Key:   key,
+				Cost:  1,
+				Run: func(rt.TaskCtx, WorkerState) Result {
+					mu.Lock()
+					got[key] = append(got[key], i)
+					mu.Unlock()
+					return Result{}
+				},
+			})
+		}
+	}
+	if err := eng.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	eng.Close()
+	mu.Lock()
+	defer mu.Unlock()
+	for _, key := range keys {
+		if len(got[key]) != perKey {
+			t.Fatalf("key %s ran %d of %d tasks", key, len(got[key]), perKey)
+		}
+		for i, v := range got[key] {
+			if v != i {
+				t.Fatalf("key %s executed out of submission order: position %d got task %d (full: %v)", key, i, v, got[key])
+			}
+		}
+	}
+}
+
+// TestRestartReadAdmission checks the batch policy's two degenerate modes:
+// unbounded budget floods the pool (peak depth = batch size, no waits),
+// and a tiny budget degenerates to serial admission (peak depth 1, every
+// deferred task counted once).
+func TestRestartReadAdmission(t *testing.T) {
+	run := func(budget int64) (peak, waits int) {
+		eng, _ := newTestEngine(t, Config{
+			Name:     "test-read",
+			Workers:  4,
+			Budget:   budget,
+			QueueCap: 16,
+			Policy:   RestartRead{},
+			OnDepth: func(depth int, _ int64) {
+				if depth > peak {
+					peak = depth
+				}
+			},
+			OnWait: func(Class) { waits++ },
+		})
+		var tasks []*Task
+		for i := 0; i < 8; i++ {
+			tasks = append(tasks, &Task{
+				Class: ClassRead,
+				Cost:  10,
+				Run:   func(rt.TaskCtx, WorkerState) Result { return Result{} },
+			})
+		}
+		eng.RunBatch(tasks, nil)
+		eng.Close()
+		return peak, waits
+	}
+	if peak, waits := run(0); peak != 8 || waits != 0 {
+		t.Fatalf("unbounded budget: peak depth %d waits %d, want 8 and 0", peak, waits)
+	}
+	if peak, waits := run(1); peak != 1 || waits != 7 {
+		t.Fatalf("one-byte budget: peak depth %d waits %d, want 1 (serial) and 7", peak, waits)
+	}
+}
+
+// TestRoundRobinDealing checks that unkeyed tasks are dealt strictly by
+// submission index, the dealing the read pool sizes its queues by.
+func TestRoundRobinDealing(t *testing.T) {
+	const nw = 4
+	eng, _ := newTestEngine(t, Config{
+		Name:     "test-rr",
+		Workers:  nw,
+		QueueCap: 64,
+		Policy:   Writeback{},
+	})
+	if eng.Workers() != nw {
+		t.Fatalf("workers = %d, want %d", eng.Workers(), nw)
+	}
+	for i := 0; i < 4*nw; i++ {
+		want := i % nw
+		if got := eng.route(&Task{}); got != want {
+			t.Fatalf("unkeyed task %d routed to worker %d, want %d", i, got, want)
+		}
+	}
+	eng.Close()
+}
+
+// TestFlushErrorSticky checks error semantics: a failed task surfaces on
+// the next flush and on every flush after it, so no later generation can
+// commit past a lost block.
+func TestFlushErrorSticky(t *testing.T) {
+	boom := errors.New("disk full")
+	eng, _ := newTestEngine(t, Config{
+		Name:     "test-err",
+		Workers:  1,
+		QueueCap: 8,
+		Policy:   Writeback{},
+	})
+	eng.Submit(&Task{Class: ClassWrite, Cost: 1, Run: func(rt.TaskCtx, WorkerState) Result {
+		return Result{Err: boom}
+	}})
+	if err := eng.Flush(); !errors.Is(err, boom) {
+		t.Fatalf("first flush err = %v, want %v", err, boom)
+	}
+	eng.Submit(&Task{Class: ClassWrite, Cost: 1, Run: func(rt.TaskCtx, WorkerState) Result {
+		return Result{}
+	}})
+	if err := eng.Flush(); !errors.Is(err, boom) {
+		t.Fatalf("second flush err = %v, want sticky %v", err, boom)
+	}
+	eng.Close()
+	if got := eng.Tally(ClassWrite).Errors; got != 1 {
+		t.Fatalf("tally errors = %d, want 1", got)
+	}
+}
+
+// TestFatalResultStopsPool checks the injected-crash path: a fatal task
+// kills its worker after the completion is reported, and the engine
+// surfaces it through Crashed without wedging Flush or Close.
+func TestFatalResultStopsPool(t *testing.T) {
+	eng, _ := newTestEngine(t, Config{
+		Name:     "test-fatal",
+		Workers:  1,
+		QueueCap: 8,
+		Policy:   Writeback{},
+	})
+	eng.Submit(&Task{Class: ClassWrite, Cost: 1, Run: func(rt.TaskCtx, WorkerState) Result {
+		return Result{Fatal: true}
+	}})
+	if err := eng.Flush(); err != nil {
+		t.Fatalf("flush after crash: %v", err)
+	}
+	if !eng.Crashed() {
+		t.Fatal("engine did not report the crash")
+	}
+	eng.Close()
+	if got := eng.Tally(ClassWrite).Done; got != 1 {
+		t.Fatalf("the fatal task's completion was lost: done = %d, want 1", got)
+	}
+}
+
+// TestWorkerStateFlush checks that a barrier flushes every worker's
+// private state exactly once per Flush.
+func TestWorkerStateFlush(t *testing.T) {
+	var mu sync.Mutex
+	flushes := 0
+	eng, _ := newTestEngine(t, Config{
+		Name:     "test-state",
+		Workers:  3,
+		QueueCap: 8,
+		Policy:   Writeback{},
+		NewState: func(wi int, tc rt.TaskCtx) WorkerState {
+			return &countingState{mu: &mu, flushes: &flushes}
+		},
+	})
+	if err := eng.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	mu.Lock()
+	got := flushes
+	mu.Unlock()
+	if got != 3 {
+		t.Fatalf("flushed %d worker states, want 3", got)
+	}
+	eng.Close()
+}
+
+type countingState struct {
+	mu      *sync.Mutex
+	flushes *int
+}
+
+func (c *countingState) Flush() error {
+	c.mu.Lock()
+	*c.flushes++
+	c.mu.Unlock()
+	return nil
+}
+
+func (c *countingState) Close() error { return nil }
+
+// TestUnifiedMetricNames pins the scheduler's metric surface: one series
+// set per class, under the iosched. prefix.
+func TestUnifiedMetricNames(t *testing.T) {
+	reg := metrics.New()
+	eng, _ := newTestEngine(t, Config{
+		Name:     "test-names",
+		Workers:  1,
+		QueueCap: 8,
+		Policy:   Writeback{},
+		Metrics:  reg,
+	})
+	eng.Submit(&Task{Class: ClassWrite, Cost: 1, Run: func(rt.TaskCtx, WorkerState) Result { return Result{} }})
+	eng.Flush()
+	eng.Close()
+	snap := reg.Snapshot()
+	for _, class := range []string{"write", "read", "scan"} {
+		for _, name := range []string{"backpressure_waits", "errors", "tasks"} {
+			key := fmt.Sprintf("iosched.%s.%s", class, name)
+			if _, ok := snap.Counters[key]; !ok {
+				t.Errorf("counter %s not registered", key)
+			}
+		}
+		if _, ok := snap.Gauges["iosched."+class+".queue_depth"]; !ok {
+			t.Errorf("gauge iosched.%s.queue_depth not registered", class)
+		}
+		for _, name := range []string{"overlap_seconds", "busy_seconds"} {
+			key := fmt.Sprintf("iosched.%s.%s", class, name)
+			if _, ok := snap.Histograms[key]; !ok {
+				t.Errorf("histogram %s not registered", key)
+			}
+		}
+	}
+	if got := snap.Counters["iosched.write.tasks"]; got != 1 {
+		t.Fatalf("iosched.write.tasks = %d, want 1", got)
+	}
+}

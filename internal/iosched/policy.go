@@ -1,0 +1,44 @@
+package iosched
+
+// Policy decides how the byte budget is applied to admission. Both hooks
+// run on the submitter goroutine with the engine's current accounting.
+type Policy interface {
+	// Admit reports whether a task of the given cost may be dispatched
+	// now (RunBatch admission). queued and inflight exclude the candidate.
+	Admit(queued, budget int64, inflight int, cost int64) bool
+	// HoldSubmitter reports whether the submitter must block after a
+	// streaming Submit until completions bring queued back under budget.
+	// queued includes the task just submitted.
+	HoldSubmitter(queued, budget int64) bool
+}
+
+// Writeback is the drain-engine policy: every block is enqueued (the data
+// is already buffered; refusing it would buy nothing), and the submitter
+// is held whenever the queue runs over budget — backpressure degenerates
+// to write-through at tiny budgets, which is what keeps staged output
+// byte-identical to a synchronous drain.
+type Writeback struct{}
+
+// Admit implements Policy: always.
+func (Writeback) Admit(int64, int64, int, int64) bool { return true }
+
+// HoldSubmitter implements Policy.
+func (Writeback) HoldSubmitter(queued, budget int64) bool {
+	return budget > 0 && queued > budget
+}
+
+// RestartRead is the read-pool policy: a task is deferred while it would
+// push the in-flight bytes over budget, but an idle pool always admits
+// (otherwise a single over-budget extent could never run) — at tiny
+// budgets the pool degenerates to serial reads. The submitter is never
+// held after a dispatch: restart rounds interleave admission with
+// consumption in RunBatch, so results ship while later extents wait.
+type RestartRead struct{}
+
+// Admit implements Policy.
+func (RestartRead) Admit(queued, budget int64, inflight int, cost int64) bool {
+	return budget <= 0 || queued+cost <= budget || inflight == 0
+}
+
+// HoldSubmitter implements Policy: never.
+func (RestartRead) HoldSubmitter(int64, int64) bool { return false }

@@ -24,6 +24,7 @@ import (
 	"fmt"
 
 	"genxio/internal/hdf"
+	"genxio/internal/iosched"
 	"genxio/internal/metrics"
 	"genxio/internal/mpi"
 	"genxio/internal/roccom"
@@ -76,12 +77,12 @@ type Rochdf struct {
 	pending    []pendingGen
 	pendingSet map[string]bool
 
-	// T-Rochdf state.
-	jobs        rt.Queue
-	done        rt.Queue
-	outstanding int
-	lastFile    string
-	closed      bool
+	// T-Rochdf state: a one-writer iosched instance is the background I/O
+	// thread (Workers: 1 keeps the paper's single persistent thread and
+	// its strict job order).
+	eng      *iosched.Engine
+	lastFile string
+	closed   bool
 
 	m  Metrics
 	mx hdfMx
@@ -149,9 +150,21 @@ func New(ctx mpi.Ctx, cfg Config) *Rochdf {
 		mx:         newHdfMx(cfg.Metrics, cfg.Threaded),
 	}
 	if cfg.Threaded {
-		h.jobs = ctx.NewQueue(8)
-		h.done = ctx.NewQueue(64)
-		ctx.Spawn("rochdf-io", h.ioThread)
+		h.eng = iosched.New(ctx, iosched.Config{
+			Name:    "rochdf-io",
+			Workers: 1,
+			// The job queue bounds buffered snapshots (a full queue blocks
+			// WriteAttribute's submit), the paper's bounded-memory rule.
+			QueueCap:   8,
+			Policy:     iosched.Writeback{},
+			FlushClass: iosched.ClassWrite,
+			Metrics:    cfg.Metrics,
+			OnWorkerDone: func(c iosched.Completion, _ bool) {
+				if c.Task != nil {
+					h.mx.bgWrite.Observe(c.T1 - c.T0)
+				}
+			},
+		})
 	}
 	return h
 }
@@ -226,47 +239,26 @@ func (h *Rochdf) WriteAttribute(file string, w *roccom.Window, attr string, tm f
 	if h.cfg.BufferBW > 0 {
 		h.clock.Compute(float64(bytes) / h.cfg.BufferBW)
 	}
-	h.jobs.Put(h.clock, job)
-	h.outstanding++
+	h.eng.Submit(&iosched.Task{
+		Class: iosched.ClassWrite,
+		Key:   job.fname,
+		Cost:  bytes,
+		Run: func(tc rt.TaskCtx, _ iosched.WorkerState) iosched.Result {
+			return iosched.Result{Err: h.writeFile(tc.Clock(), tc.FS(), job)}
+		},
+	})
 	return nil
 }
 
-// drain waits until the I/O thread has completed all outstanding jobs,
-// recording the blocking time (the part of the background write the
-// application actually sees).
+// drain waits until the I/O thread has completed all outstanding jobs
+// (an iosched flush barrier), recording the blocking time — the part of
+// the background write the application actually sees. A write failure is
+// sticky: once a background job fails, every later drain reports it, so
+// no generation after the failure can commit.
 func (h *Rochdf) drain() error {
 	t0 := h.clock.Now()
 	defer func() { h.mx.drainWait.Observe(h.clock.Now() - t0) }()
-	for h.outstanding > 0 {
-		v, ok := h.done.Get(h.clock)
-		if !ok {
-			return fmt.Errorf("rochdf: I/O thread exited with %d jobs outstanding", h.outstanding)
-		}
-		h.outstanding--
-		if err, isErr := v.(error); isErr {
-			return err
-		}
-	}
-	return nil
-}
-
-// ioThread is T-Rochdf's persistent background writer.
-func (h *Rochdf) ioThread(tc rt.TaskCtx) {
-	for {
-		v, ok := h.jobs.Get(tc.Clock())
-		if !ok {
-			return
-		}
-		job := v.(writeJob)
-		t0 := tc.Clock().Now()
-		err := h.writeFile(tc.Clock(), tc.FS(), job)
-		h.mx.bgWrite.Observe(tc.Clock().Now() - t0)
-		if err != nil {
-			h.done.Put(tc.Clock(), err)
-			continue
-		}
-		h.done.Put(tc.Clock(), nil)
-	}
+	return h.eng.Flush()
 }
 
 // writeFile writes one job's datasets into the rank's snapshot file,
@@ -444,7 +436,7 @@ func (h *Rochdf) Close() error {
 	var err error
 	if h.cfg.Threaded {
 		err = h.drain()
-		h.jobs.Close()
+		h.eng.Close()
 	}
 	h.closed = true
 	return err

@@ -3,39 +3,40 @@ package rocpanda
 // The background drain engine: the asynchronous writeback the paper's
 // servers use to hide file I/O behind client computation. With
 // Config.AsyncDrain the server no longer drains its buffer inline between
-// probe polls; instead a small pool of writer tasks (ctx.Spawn — real
-// goroutines on the channel backend, simulation processes with their own
-// clock and filesystem view on the virtual platforms) continuously empties
-// a bounded queue while the request loop keeps absorbing client writes.
+// probe polls; instead the blocks become ClassWrite tasks on an
+// internal/iosched pool (real goroutines on the channel backend,
+// simulation processes with their own clock and filesystem view on the
+// virtual platforms) that continuously empties a bounded queue while the
+// request loop keeps absorbing client writes.
 //
-// Ordering and bit-exactness: blocks route to writers by destination file
-// (FNV hash), so each file sees its blocks in exactly the arrival order the
-// synchronous drain would have used — the output files are byte-identical
-// between the two modes.
+// Ordering and bit-exactness: a block's task key is its destination file,
+// so the scheduler's keyed-ordering invariant (same key => same worker, in
+// submission order) gives each file its blocks in exactly the arrival
+// order the synchronous drain would have used — the output files are
+// byte-identical between the two modes.
 //
-// Backpressure: Config.BufferBudgetBytes bounds the bytes in flight. An
-// enqueue that overruns the budget stalls the request loop (delaying the
-// client's ack) until the writers catch up, so a one-block budget
+// Backpressure: Config.BufferBudgetBytes becomes the scheduler budget
+// under the Writeback policy. An enqueue that overruns it stalls the
+// request loop (delaying the client's ack) on completion signals — no
+// sleep-polling — until the writers catch up, so a one-block budget
 // degenerates to write-through timing while an ample budget gives full
 // overlap.
 //
 // Commit safety: flushOutput (the barrier behind Sync, restart scans and
-// shutdown) sends every writer a flush token and waits for the matching
-// acks; queue FIFO order guarantees all previously queued blocks are on
-// disk and every file closed before the ack. Only then may a client write
-// the generation's manifest, so crash consistency, catalog publication and
+// shutdown) is iosched.Flush: every worker finishes its queue, closes its
+// files and acks with its sticky error. Only then may a client write the
+// generation's manifest, so crash consistency, catalog publication and
 // generation fallback are unchanged from the synchronous drain.
 //
-// Faults: the existing crash points fire on the writer task (MidDrain,
-// BeforeMeta) exactly as they fire on the synchronous path, and a writer
-// that observes a file error reports it through the flush ack so the
-// client-side allreduce refuses the commit (see client.Sync).
+// Faults: the existing crash points fire on the writer task (MidDrain via
+// a fatal task result, BeforeMeta via the sink's panic) exactly as they
+// fire on the synchronous path, and a writer that observes a file error
+// reports it through the flush ack so the client-side allreduce refuses
+// the commit (see client.Sync).
 
 import (
-	"hash/fnv"
-	"sync/atomic"
-
 	"genxio/internal/faults"
+	"genxio/internal/iosched"
 	"genxio/internal/rt"
 	"genxio/internal/trace"
 )
@@ -46,113 +47,114 @@ const (
 	// drainQueueCap is each writer's job-queue capacity in blocks; the
 	// byte budget, not this bound, is the intended flow control.
 	drainQueueCap = 4096
-	// backpressurePoll is the budget-wait poll interval (seconds): short
-	// enough to release a stalled enqueue promptly, long enough that the
-	// virtual-time platforms don't grind through pointless wakeups.
-	backpressurePoll = 1e-4
 )
 
-// drainFlush asks a writer to finish everything queued before it, close
-// its files, and acknowledge with a drainAck.
-type drainFlush struct{}
+// drainState is a writer's private iosched.WorkerState: a blockSink with
+// the worker's own clock identity and filesystem view. Its files stay
+// open (staged temporaries) if the worker dies to an injected crash, as a
+// real process death would leave them.
+type drainState struct{ sink *blockSink }
 
-// drainAck is a writer's flush acknowledgement; err carries the writer's
-// sticky drain error (nil when all its output landed).
-type drainAck struct{ err error }
+// Flush implements iosched.WorkerState: the barrier closes every file.
+func (d *drainState) Flush() error { return d.sink.closeAll("") }
 
-// drainExit is a writer's final message: its accumulated tallies, and
-// whether it died to an injected crash.
-type drainExit struct {
-	m       ServerMetrics
-	crashed bool
-}
+// Close implements iosched.WorkerState (never called: the drain pool
+// keeps state unclosed on exit, see Config.CloseStateOnExit).
+func (d *drainState) Close() error { return nil }
 
-// drainEngine owns the writer pool of one server. All exported-ish entry
-// points (enqueue, barrier, close) run on the server goroutine; runWorker
-// runs on the writer tasks. The two sides share only the queues and a few
-// atomics, which keeps both the race detector and the deterministic
-// simulation happy.
+// drainEngine adapts one server's async writeback onto internal/iosched.
+// All entry points (enqueue, flushBarrier, close) run on the server
+// goroutine.
 type drainEngine struct {
-	s      *server
-	clock  rt.Clock // the server loop's clock identity
-	nw     int
-	budget int64
-	jobs   []rt.Queue // per-writer block queues (FIFO per file)
-	ctl    rt.Queue   // writers -> server: acks and exits
-
-	queued  atomic.Int64 // bytes enqueued, not yet written
-	depth   atomic.Int64 // blocks enqueued, not yet written
-	barrier atomic.Bool  // a flush is in progress (writes then aren't overlap)
-	crashed atomic.Bool  // a writer died to an injected crash
-	dead    atomic.Bool  // server gone: writers discard instead of writing
-
-	// Server-goroutine-only state.
-	exited int
+	s   *server
+	eng *iosched.Engine
+	// wms collects per-writer sink tallies (blocks, bytes, files); each
+	// entry is written only by its worker, and read only after the
+	// worker's exit message has been received (close).
+	wms    []ServerMetrics
 	closed bool
 }
 
-// newDrainEngine builds the pool and spawns its writers.
+// newDrainEngine builds the scheduler instance and spawns its writers.
 func newDrainEngine(s *server) *drainEngine {
-	nw := s.cfg.DrainWriters
-	if nw < 1 {
-		nw = 1
-	}
-	if nw > maxDrainWriters {
-		nw = maxDrainWriters
-	}
-	e := &drainEngine{
-		s:      s,
-		clock:  s.ctx.Clock(),
-		nw:     nw,
-		budget: s.cfg.BufferBudgetBytes,
-		ctl:    s.ctx.NewQueue(4*nw + 4),
-	}
-	// All queues exist before any worker starts: a worker indexes e.jobs,
-	// and growing the slice under it would race.
-	for wi := 0; wi < nw; wi++ {
-		e.jobs = append(e.jobs, s.ctx.NewQueue(drainQueueCap))
-	}
-	for wi := 0; wi < nw; wi++ {
-		wi := wi
-		s.ctx.Spawn("panda-drain", func(tc rt.TaskCtx) { e.runWorker(wi, tc) })
-	}
+	e := &drainEngine{s: s, wms: make([]ServerMetrics, maxDrainWriters)}
+	e.eng = iosched.New(s.ctx, iosched.Config{
+		Name:       "panda-drain",
+		Workers:    s.cfg.DrainWriters,
+		MaxWorkers: maxDrainWriters,
+		Budget:     s.cfg.BufferBudgetBytes,
+		QueueCap:   drainQueueCap,
+		Policy:     iosched.Writeback{},
+		FlushClass: iosched.ClassWrite,
+		NewState: func(wi int, tc rt.TaskCtx) iosched.WorkerState {
+			return &drainState{sink: newBlockSink(s, tc.Clock(), tc.FS(), &e.wms[wi])}
+		},
+		// An injected crash point (BeforeMeta inside the sink) panics with
+		// serverCrashed; the worker dies with its files unclosed.
+		FatalPanic: func(r interface{}) bool { _, died := r.(serverCrashed); return died },
+		Metrics:    s.cfg.Metrics,
+		Trace:      s.cfg.Trace,
+		TraceRank:  s.traceRank(),
+		TracePhase: trace.PhaseDrain,
+		// The drain timeline records every block span, including
+		// zero-width ones on the virtual platforms.
+		TraceZeroSpans: true,
+		// Legacy rocpanda.drain.* views of the scheduler's events.
+		OnWorkerDone: func(c iosched.Completion, overlapped bool) {
+			if c.Task == nil { // a flush-close failure
+				s.mx.drainErrors.Inc()
+				return
+			}
+			s.mx.drainSeconds.Observe(c.T1 - c.T0)
+			if overlapped {
+				s.mx.overlapSeconds.Observe(c.T1 - c.T0)
+			}
+			if c.Result.Err != nil {
+				s.mx.drainErrors.Inc()
+			}
+		},
+		OnDepth: func(depth int, queued int64) {
+			if queued > s.m.MaxBufBytes {
+				s.m.MaxBufBytes = queued
+			}
+			s.mx.bufBytesPeak.SetMax(float64(queued))
+			if depth > s.m.DrainQueuePeak {
+				s.m.DrainQueuePeak = depth
+			}
+			s.mx.queueDepth.SetMax(float64(depth))
+		},
+		OnWait: func(iosched.Class) {
+			s.m.BackpressureWaits++
+			s.mx.backpressure.Inc()
+		},
+	})
 	return e
 }
 
-// route assigns a destination file to a writer. Stable by name, so one
-// file's blocks always drain through one writer, in arrival order.
-func (e *drainEngine) route(fname string) int {
-	h := fnv.New32a()
-	h.Write([]byte(fname))
-	return int(h.Sum32() % uint32(e.nw))
-}
+// crashed reports whether a writer died to an injected crash; the request
+// loop polls it and takes the process down.
+func (e *drainEngine) crashed() bool { return e.eng.Crashed() }
 
-// enqueue hands one buffered block to its writer, tracking queue peaks and
-// applying the byte-budget backpressure. Runs on the server goroutine.
+// enqueue hands one buffered block to the scheduler, which may stall the
+// request loop on the byte budget. Runs on the server goroutine.
 func (e *drainEngine) enqueue(blk pendingBlock) {
-	q := e.queued.Add(blk.bytes)
-	if q > e.s.m.MaxBufBytes {
-		e.s.m.MaxBufBytes = q
-	}
-	e.s.mx.bufBytesPeak.SetMax(float64(q))
-	d := e.depth.Add(1)
-	if int(d) > e.s.m.DrainQueuePeak {
-		e.s.m.DrainQueuePeak = int(d)
-	}
-	e.s.mx.queueDepth.SetMax(float64(d))
-	// Whether this enqueue overruns the budget is decided here, before the
-	// writers can race the check: the wait accounting stays deterministic.
-	over := e.budget > 0 && q > e.budget
-	if over {
-		e.s.m.BackpressureWaits++
-		e.s.mx.backpressure.Inc()
-	}
-	e.jobs[e.route(blk.fname)].Put(e.clock, blk)
-	for over && e.queued.Load() > e.budget {
-		if e.crashed.Load() {
-			panic(serverCrashed{})
-		}
-		e.clock.Sleep(backpressurePoll)
+	info := e.eng.Submit(&iosched.Task{
+		Class: iosched.ClassWrite,
+		Key:   blk.fname,
+		Cost:  blk.bytes,
+		Run: func(tc rt.TaskCtx, st iosched.WorkerState) iosched.Result {
+			err := st.(*drainState).sink.write(blk)
+			return iosched.Result{
+				Err: err,
+				// MidDrain fires after the block lands (and its span and
+				// tallies are recorded), exactly as on the synchronous
+				// path.
+				Fatal: e.s.cfg.Crash.Hit(e.s.idx, faults.MidDrain),
+			}
+		},
+	})
+	if info.Waited && e.eng.Crashed() {
+		panic(serverCrashed{})
 	}
 }
 
@@ -161,32 +163,12 @@ func (e *drainEngine) enqueue(blk pendingBlock) {
 // serverCrashed if a writer died to an injected crash. Runs on the server
 // goroutine.
 func (e *drainEngine) flushBarrier() error {
-	if e.crashed.Load() {
+	if e.eng.Crashed() {
 		panic(serverCrashed{})
 	}
-	e.barrier.Store(true)
-	defer e.barrier.Store(false)
-	for _, q := range e.jobs {
-		q.Put(e.clock, drainFlush{})
-	}
-	var err error
-	for acks := 0; acks < e.nw; {
-		v, ok := e.ctl.Get(e.clock)
-		if !ok {
-			break
-		}
-		switch msg := v.(type) {
-		case drainAck:
-			acks++
-			if msg.err != nil && err == nil {
-				err = msg.err
-			}
-		case drainExit:
-			// A writer can only exit mid-run by crashing; take the server
-			// down with it (they are one process).
-			e.noteExit(msg)
-			panic(serverCrashed{})
-		}
+	err := e.eng.Flush()
+	if e.eng.Crashed() {
+		panic(serverCrashed{})
 	}
 	return err
 }
@@ -201,106 +183,16 @@ func (e *drainEngine) close() {
 		return
 	}
 	e.closed = true
-	// From here on writers discard instead of writing: a crashed server's
-	// queued blocks die with the process, exactly like the synchronous
-	// buffer. On the normal path the queues are already empty (run flushes
-	// before acknowledging shutdown).
-	e.dead.Store(true)
-	for _, q := range e.jobs {
-		q.Close()
+	e.eng.Close()
+	for i := range e.wms {
+		e.s.m.BlocksWritten += e.wms[i].BlocksWritten
+		e.s.m.BytesWritten += e.wms[i].BytesWritten
+		e.s.m.FilesCreated += e.wms[i].FilesCreated
 	}
-	for e.exited < e.nw {
-		v, ok := e.ctl.Get(e.clock)
-		if !ok {
-			break
-		}
-		// Stale flush acks from a barrier a crash interrupted are dropped.
-		if msg, isExit := v.(drainExit); isExit {
-			e.noteExit(msg)
-		}
-	}
-	e.ctl.Close()
-}
-
-// noteExit merges one writer's final tallies (server goroutine; the queue
-// handoff orders it after everything the writer did).
-func (e *drainEngine) noteExit(msg drainExit) {
-	e.exited++
-	e.s.m.BlocksWritten += msg.m.BlocksWritten
-	e.s.m.BytesWritten += msg.m.BytesWritten
-	e.s.m.FilesCreated += msg.m.FilesCreated
-	e.s.m.OverlapSeconds += msg.m.OverlapSeconds
-	e.s.m.DrainErrors += msg.m.DrainErrors
-	if msg.crashed {
+	t := e.eng.Tally(iosched.ClassWrite)
+	e.s.m.OverlapSeconds += t.Overlap
+	e.s.m.DrainErrors += int(t.Errors)
+	if e.eng.Crashed() {
 		e.s.m.Crashed = true
-	}
-}
-
-// runWorker is one writer task's body. It owns a private blockSink (its
-// own files, clock identity and filesystem view) and local tallies, so the
-// only cross-task traffic is the queues and the engine's atomics.
-func (e *drainEngine) runWorker(wi int, tc rt.TaskCtx) {
-	var wm ServerMetrics
-	sink := newBlockSink(e.s, tc.Clock(), tc.FS(), &wm)
-	var sticky error
-	crashed := false
-	defer func() {
-		if r := recover(); r != nil {
-			if _, died := r.(serverCrashed); !died {
-				panic(r)
-			}
-			// An injected crash point fired on this writer: the server
-			// process is dead. Flag it so the request loop and any barrier
-			// stop too, and leave the files unclosed (staged temporaries),
-			// as a real process death would.
-			crashed = true
-			e.crashed.Store(true)
-		}
-		e.ctl.Put(tc.Clock(), drainExit{m: wm, crashed: crashed})
-	}()
-	for {
-		v, ok := e.jobs[wi].Get(tc.Clock())
-		if !ok {
-			return
-		}
-		switch msg := v.(type) {
-		case pendingBlock:
-			if e.dead.Load() {
-				// The server crashed; its queued blocks die with it.
-				e.queued.Add(-msg.bytes)
-				e.depth.Add(-1)
-				continue
-			}
-			t0 := tc.Clock().Now()
-			err := sink.write(msg)
-			t1 := tc.Clock().Now()
-			e.queued.Add(-msg.bytes)
-			e.depth.Add(-1)
-			e.s.mx.drainSeconds.Observe(t1 - t0)
-			if !e.barrier.Load() {
-				// Written while the request loop was free to serve clients:
-				// this is the overlap the paper claims.
-				wm.OverlapSeconds += t1 - t0
-				e.s.mx.overlapSeconds.Observe(t1 - t0)
-			}
-			e.s.cfg.Trace.Record(e.s.traceRank(), trace.PhaseDrain, t0, t1)
-			if err != nil {
-				if sticky == nil {
-					sticky = err
-				}
-				wm.DrainErrors++
-				e.s.mx.drainErrors.Inc()
-			}
-			e.s.maybeCrash(faults.MidDrain)
-		case drainFlush:
-			if err := sink.closeAll(""); err != nil {
-				if sticky == nil {
-					sticky = err
-				}
-				wm.DrainErrors++
-				e.s.mx.drainErrors.Inc()
-			}
-			e.ctl.Put(tc.Clock(), drainAck{err: sticky})
-		}
 	}
 }

@@ -1,16 +1,17 @@
 package rocpanda
 
 // The parallel restart read engine: the read-side twin of the background
-// drain engine (drain.go). With Config.ParallelRead a restart round's file
-// share — catalog-planned extent reads and directory-scan fallbacks alike —
-// is executed by a pool of read workers (ctx.Spawn: real goroutines on the
-// channel backend, simulation processes with their own clock and
-// filesystem view on the virtual platforms) instead of one file at a time
-// on the request loop.
+// drain engine (drain.go), and the second client of internal/iosched. With
+// Config.ParallelRead a restart round's file share — catalog-planned
+// extent reads and directory-scan fallbacks alike — becomes a batch of
+// ClassRead / ClassScan tasks executed by a scheduler pool (ctx.Spawn:
+// real goroutines on the channel backend, simulation processes with their
+// own clock and filesystem view on the virtual platforms) instead of one
+// file at a time on the request loop.
 //
 // Division of labor: workers do disk I/O only — they fill preallocated run
 // buffers with ReadAt chunks, or walk a scan-fallback file into ship-ready
-// pane payloads — and report results over a control queue. The server
+// pane payloads — and report results as task completions. The server
 // goroutine does everything else: CRC verification, inflate, pane
 // assembly, and every network send (simulated endpoints charge the sending
 // process, so shipping must stay on the server's own identity). Reads of
@@ -29,26 +30,29 @@ package rocpanda
 // may differ from the serial listing order, but a pane is planned from
 // exactly one file per server and clients dedupe on first arrival (the
 // copies a failover may leave in two files are identical), so what a rank
-// restores is bit-identical to the serial path.
+// restores is bit-identical to the serial path. Tasks are unkeyed: the
+// scheduler deals them round-robin by submission index, and disjoint
+// chunks need no ordering.
 //
-// Backpressure: Config.ReadBudgetBytes bounds the read bytes in flight.
-// A task that would overrun the budget is deferred until outstanding reads
-// complete; a task is always admitted when nothing is in flight, so
-// progress is guaranteed and a one-byte budget degenerates to serial reads.
+// Backpressure: Config.ReadBudgetBytes becomes the scheduler budget under
+// the RestartRead policy: a task that would overrun the budget is deferred
+// until outstanding reads complete, but an idle pool always admits, so
+// progress is guaranteed and a one-byte budget degenerates to serial
+// reads. Because the budget is this instance's alone, a restart round is
+// admitted immediately even while the same server's drain instance is
+// still emptying a previous generation's queue.
 //
 // Failure: a worker never panics the process. Open/ReadAt errors and
 // damaged payloads mark the file failed; the server skips it whole —
 // nothing from a failed file ever ships, matching the serial path — and
 // accounts the discarded bytes as wasted, not read. An injected MidRead
-// crash fires on a worker, which reports it through its exit message; the
-// server then dies as one process, and the clients' stall detection takes
-// over.
+// crash fires on a worker as a fatal task result; the server then dies as
+// one process, and the clients' stall detection takes over.
 
 import (
-	"sync/atomic"
-
 	"genxio/internal/catalog"
 	"genxio/internal/faults"
+	"genxio/internal/iosched"
 	"genxio/internal/rt"
 	"genxio/internal/trace"
 )
@@ -91,79 +95,50 @@ type readFile struct {
 	read   int64 // bytes successfully pulled from the file so far
 }
 
-// readChunkTask is one contiguous disk read: fill buf from off.
-type readChunkTask struct {
-	fi   int // index into readEngine.files
-	name string
-	off  int64
-	buf  []byte
-}
-
-// readScanTask is one whole-file directory-scan fallback.
-type readScanTask struct {
-	fi   int
-	name string
-}
-
-// readTask is the unit the server deals to workers. stalled is server-
-// goroutine-only bookkeeping (set before the task is ever enqueued), so a
-// task is counted against the budget at most once.
-type readTask struct {
-	cost    int64
-	stalled bool
-	chunk   *readChunkTask
-	scan    *readScanTask
-}
-
-func (t *readTask) fileIdx() int {
-	if t.chunk != nil {
-		return t.chunk.fi
-	}
-	return t.scan.fi
-}
-
-// readResult is one task's outcome, reported to the server over the
-// control queue (which is also the happens-before edge covering the chunk
+// readResult is one task's outcome, carried as the completion's value (the
+// control-queue handoff is also the happens-before edge covering the chunk
 // buffer the worker filled).
 type readResult struct {
 	fi     int
-	cost   int64 // budget bytes to release
 	read   int64 // bytes actually pulled from the file
 	opened bool
 	failed bool
 	ships  []paneShip // scan tasks only: ship-ready pane payloads
-	t0, t1 float64
 }
 
-// readExit is a worker's final message.
-type readExit struct{ crashed bool }
+// readHandles is a read worker's private iosched.WorkerState: one cached
+// open handle per file (several workers may hold handles on the same file;
+// each reads disjoint chunks). Closed on every worker exit, crashed or
+// not, exactly as the pre-scheduler pool did.
+type readHandles struct{ m map[string]rt.File }
 
-// readEngine owns one restart round's worker pool. It is created per
-// round (restart rounds are rare and bounded, unlike the server-lifetime
-// drain pool) and torn down before the round's done notifications go out.
-// enqueue/consume run on the server goroutine; runWorker on the workers.
-// The two sides share only the queues and the dead flag.
+// Flush implements iosched.WorkerState (restart rounds never flush).
+func (h *readHandles) Flush() error { return nil }
+
+// Close implements iosched.WorkerState.
+func (h *readHandles) Close() error {
+	for _, f := range h.m {
+		f.Close()
+	}
+	return nil
+}
+
+// readEngine adapts one restart round's share onto internal/iosched. It is
+// created per round (restart rounds are rare and bounded, unlike the
+// server-lifetime drain pool) and torn down before the round's done
+// notifications go out. consume runs on the server goroutine.
 type readEngine struct {
 	s      *server
-	clock  rt.Clock // the server loop's clock identity
-	nw     int
-	budget int64
+	eng    *iosched.Engine
 	window string
 	round  *readRound
-	jobs   []rt.Queue // per-worker task queues; sized so Put never blocks
-	ctl    rt.Queue   // workers -> server: results and exits
-
-	dead atomic.Bool // round over: workers short-circuit remaining tasks
 
 	// Server-goroutine-only state.
 	files   []*readFile
-	tasks   []*readTask
+	tasks   []*iosched.Task
 	cat     *catalog.Catalog // nil in scan-fallback rounds (no index of copies)
 	bad     map[string]bool  // files that failed an open; retries skip them
 	shipped bool             // something left this server already (overlap accounting)
-	exited  int
-	crashed bool
-	closed  bool
 }
 
 // newReadEngine builds the round's file states and task list, then spawns
@@ -180,9 +155,6 @@ func newReadEngine(s *server, window string, round *readRound, items []readItem,
 	}
 	e := &readEngine{
 		s:      s,
-		clock:  s.ctx.Clock(),
-		nw:     nw,
-		budget: s.cfg.ReadBudgetBytes,
 		window: window,
 		round:  round,
 		cat:    cat,
@@ -194,7 +166,7 @@ func newReadEngine(s *server, window string, round *readRound, items []readItem,
 			f := &readFile{name: it.name, scan: true, left: 1}
 			e.files = append(e.files, f)
 			cost, _ := s.ctx.FS().Stat(it.name) // unknown size costs zero
-			e.tasks = append(e.tasks, &readTask{cost: cost, scan: &readScanTask{fi: fi, name: it.name}})
+			e.tasks = append(e.tasks, e.scanTask(fi, it.name, cost))
 			continue
 		}
 		f := &readFile{name: it.name, plan: it.plan, cat: it.cat, runs: catalog.Coalesce(it.plan.Entries, 0)}
@@ -204,113 +176,131 @@ func newReadEngine(s *server, window string, round *readRound, items []readItem,
 			f.bufs[ri] = make([]byte, run.Length)
 			for off := int64(0); off < run.Length; off += readChunkBytes {
 				n := min(int64(readChunkBytes), run.Length-off)
-				e.tasks = append(e.tasks, &readTask{cost: n, chunk: &readChunkTask{
-					fi: fi, name: it.name, off: run.Offset + off, buf: f.bufs[ri][off : off+n],
-				}})
+				e.tasks = append(e.tasks, e.chunkTask(fi, it.name, run.Offset+off, f.bufs[ri][off:off+n]))
 				f.left++
 			}
 		}
 	}
-	// Queues are sized so no Put ever blocks: the server deals tasks
-	// round-robin by index, and the control queue holds one result per
-	// task plus every exit. A crashed worker that abandons its queue can
-	// then never wedge the server mid-Put.
-	perWorker := len(e.tasks)/nw + 2
-	e.ctl = s.ctx.NewQueue(len(e.tasks) + nw + 4)
-	for wi := 0; wi < nw; wi++ {
-		e.jobs = append(e.jobs, s.ctx.NewQueue(perWorker))
-	}
-	for wi := 0; wi < nw; wi++ {
-		wi := wi
-		s.ctx.Spawn("panda-read", func(tc rt.TaskCtx) { e.runWorker(wi, tc) })
-	}
+	e.eng = iosched.New(s.ctx, iosched.Config{
+		Name:       "panda-read",
+		Workers:    nw,
+		MaxWorkers: maxReadWorkers,
+		Budget:     s.cfg.ReadBudgetBytes,
+		// Queues are sized so no Put ever blocks: the scheduler deals
+		// unkeyed tasks round-robin by index, and the control queue holds
+		// one completion per task plus every exit. A crashed worker that
+		// abandons its queue can then never wedge the server mid-Put.
+		QueueCap: len(e.tasks)/nw + 2,
+		CtlCap:   len(e.tasks) + nw + 4,
+		Policy:   iosched.RestartRead{},
+		NewState: func(wi int, tc rt.TaskCtx) iosched.WorkerState {
+			return &readHandles{m: make(map[string]rt.File)}
+		},
+		CloseStateOnExit: true,
+		Metrics:          s.cfg.Metrics,
+		Trace:            s.cfg.Trace,
+		TraceRank:        s.traceRank(),
+		TracePhase:       trace.PhaseRead,
+		// Read overlap is not barrier-relative: the adapter counts disk
+		// time after the round's first ship (see consume) and reports it
+		// with NoteOverlap.
+		OverlapExternal: true,
+		// Legacy rocpanda.read.* views of the scheduler's events.
+		OnDepth: func(depth int, queued int64) {
+			if depth > s.m.ReadQueuePeak {
+				s.m.ReadQueuePeak = depth
+			}
+			s.mx.readQueueDepth.SetMax(float64(depth))
+		},
+		OnWait: func(iosched.Class) {
+			s.m.ReadBackpressureWaits++
+			s.mx.readBackpressure.Inc()
+		},
+	})
 	return e
 }
 
-// runReadPool executes one restart round's share through the worker pool.
+// chunkTask builds one contiguous disk read: fill buf from off.
+func (e *readEngine) chunkTask(fi int, name string, off int64, buf []byte) *iosched.Task {
+	return &iosched.Task{
+		Class: iosched.ClassRead,
+		Cost:  int64(len(buf)),
+		Run: func(tc rt.TaskCtx, st iosched.WorkerState) iosched.Result {
+			handles := st.(*readHandles).m
+			res := readResult{fi: fi}
+			f, ok := handles[name]
+			if !ok {
+				var err error
+				f, err = tc.FS().Open(name)
+				if err != nil {
+					res.failed = true
+					return e.finish(res)
+				}
+				handles[name] = f
+			}
+			res.opened = true
+			if _, err := f.ReadAt(buf, off); err != nil {
+				res.failed = true
+			} else {
+				res.read = int64(len(buf))
+			}
+			return e.finish(res)
+		},
+	}
+}
+
+// scanTask builds one whole-file directory-scan fallback, run on the
+// worker's own clock and filesystem view so the profile's lookup costs
+// charge to the worker and overlap across the pool.
+func (e *readEngine) scanTask(fi int, name string, cost int64) *iosched.Task {
+	return &iosched.Task{
+		Class: iosched.ClassScan,
+		Cost:  cost,
+		Run: func(tc rt.TaskCtx, st iosched.WorkerState) iosched.Result {
+			ships, read, opened, failed := collectScanFile(tc.FS(), tc.Clock(), e.s.cfg.Profile, e.s.cfg.Metrics, name, e.window, e.round)
+			return e.finish(readResult{fi: fi, read: read, opened: opened, failed: failed, ships: ships})
+		},
+	}
+}
+
+// finish wraps a worker result, evaluating the injected MidRead crash
+// after the work (and before the completion is reported, whose tallies and
+// span still land — the server then dies with the worker, exactly as the
+// serial path's maybeCrash would).
+func (e *readEngine) finish(res readResult) iosched.Result {
+	return iosched.Result{Value: res, Fatal: e.s.cfg.Crash.Hit(e.s.idx, faults.MidRead)}
+}
+
+// runReadPool executes one restart round's share through the scheduler.
 // Runs on the server goroutine; returns only after every worker has
 // exited. If a worker hit an injected crash the server process dies with
-// it, exactly as the serial path's maybeCrash would.
+// it.
 func (s *server) runReadPool(window string, round *readRound, items []readItem, cat *catalog.Catalog, badFiles map[string]bool) {
 	e := newReadEngine(s, window, round, items, cat, badFiles)
-	defer e.close()
-	e.run()
-	e.close()
-	if e.crashed {
+	defer e.eng.Close()
+	e.eng.RunBatch(e.tasks, e.consume)
+	e.eng.Close()
+	if e.eng.Crashed() {
 		s.m.Crashed = true
 		panic(serverCrashed{})
 	}
 }
 
-// run is the round's dispatch loop: interleave task admission (under the
-// byte budget) with result consumption. Admission always wins while the
-// budget allows it, so the queues stay full and the workers never starve;
-// when the budget defers a task the loop blocks consuming one result,
-// which both releases budget and lets file completions ship while later
-// reads are still on disk.
-func (e *readEngine) run() {
-	s := e.s
-	next, inflight := 0, 0
-	var queued int64
-	for next < len(e.tasks) || inflight > 0 {
-		if next < len(e.tasks) {
-			t := e.tasks[next]
-			// A task is always admitted when nothing is in flight:
-			// progress is guaranteed even when one task alone overruns the
-			// budget (the degenerate serial case).
-			if e.budget <= 0 || queued+t.cost <= e.budget || inflight == 0 {
-				e.jobs[next%e.nw].Put(e.clock, t)
-				queued += t.cost
-				inflight++
-				if inflight > s.m.ReadQueuePeak {
-					s.m.ReadQueuePeak = inflight
-				}
-				s.mx.readQueueDepth.SetMax(float64(inflight))
-				next++
-				continue
-			}
-			if !t.stalled {
-				t.stalled = true
-				s.m.ReadBackpressureWaits++
-				s.mx.readBackpressure.Inc()
-			}
-		}
-		v, ok := e.ctl.Get(e.clock)
-		if !ok {
-			return
-		}
-		switch r := v.(type) {
-		case readResult:
-			inflight--
-			queued -= r.cost
-			e.consume(r)
-		case readExit:
-			// A worker can only exit mid-round by crashing (queues close
-			// after the loop); the server process dies with it.
-			e.exited++
-			if r.crashed {
-				e.crashed = true
-			}
-			return
-		}
-	}
-}
-
-// consume folds one worker result into the round: metrics, trace spans,
+// consume folds one task completion into the round: overlap accounting,
 // file completion, and — for completed files — verification and shipping.
 // Server goroutine only.
-func (e *readEngine) consume(r readResult) {
+func (e *readEngine) consume(c iosched.Completion) {
 	s := e.s
+	r := c.Result.Value.(readResult)
 	f := e.files[r.fi]
-	if r.t1 > r.t0 {
-		s.cfg.Trace.Record(s.traceRank(), trace.PhaseRead, r.t0, r.t1)
-		if e.shipped {
-			// Disk time spent after this round's first pane left the
-			// server: reads of later files overlapped earlier files'
-			// sends — the pipelining the engine exists for.
-			s.m.ReadOverlapSeconds += r.t1 - r.t0
-			s.mx.readOverlap.Observe(r.t1 - r.t0)
-		}
+	if c.T1 > c.T0 && e.shipped {
+		// Disk time spent after this round's first pane left the server:
+		// reads of later files overlapped earlier files' sends — the
+		// pipelining the engine exists for.
+		dt := c.T1 - c.T0
+		s.m.ReadOverlapSeconds += dt
+		s.mx.readOverlap.Observe(dt)
+		e.eng.NoteOverlap(c.Task.Class, dt)
 	}
 	if r.opened && !f.opened {
 		f.opened = true
@@ -379,107 +369,4 @@ func (e *readEngine) retry(f *readFile) {
 	if e.s.recoverPanes(cat, e.window, e.round, f.plan, e.bad) > 0 {
 		e.shipped = true
 	}
-}
-
-// close tears the pool down: closes the task queues and drains the control
-// queue until every worker has exited, so the simulation's non-daemon
-// worker processes always terminate and no result is left to confuse a
-// later round. Idempotent; server goroutine only.
-func (e *readEngine) close() {
-	if e.closed {
-		return
-	}
-	e.closed = true
-	e.dead.Store(true)
-	for _, q := range e.jobs {
-		q.Close()
-	}
-	for e.exited < e.nw {
-		v, ok := e.ctl.Get(e.clock)
-		if !ok {
-			break
-		}
-		if x, isExit := v.(readExit); isExit {
-			e.exited++
-			if x.crashed {
-				e.crashed = true
-			}
-		}
-	}
-	e.ctl.Close()
-}
-
-// runWorker is one read worker's body: disk I/O only, results over the
-// control queue. It caches one open handle per file (several workers may
-// hold handles on the same file; each reads disjoint chunks) and never
-// lets a failure escape as a panic — damage is data, reported upward.
-func (e *readEngine) runWorker(wi int, tc rt.TaskCtx) {
-	handles := make(map[string]rt.File)
-	crashed := false
-	defer func() {
-		for _, f := range handles {
-			f.Close()
-		}
-		e.ctl.Put(tc.Clock(), readExit{crashed: crashed})
-	}()
-	for {
-		v, ok := e.jobs[wi].Get(tc.Clock())
-		if !ok {
-			return
-		}
-		t := v.(*readTask)
-		if e.dead.Load() {
-			// The round was torn down (crash elsewhere); release the
-			// task's budget without touching the disk.
-			e.ctl.Put(tc.Clock(), readResult{fi: t.fileIdx(), cost: t.cost, failed: true})
-			continue
-		}
-		var res readResult
-		if t.chunk != nil {
-			res = e.workChunk(tc, handles, t)
-		} else {
-			res = e.workScan(tc, t)
-		}
-		e.ctl.Put(tc.Clock(), res)
-		if e.s.cfg.Crash.Hit(e.s.idx, faults.MidRead) {
-			// Injected crash: the server process dies with this worker;
-			// the exit message carries the verdict to the dispatch loop.
-			crashed = true
-			return
-		}
-	}
-}
-
-// workChunk fills one chunk's buffer window from its file.
-func (e *readEngine) workChunk(tc rt.TaskCtx, handles map[string]rt.File, t *readTask) readResult {
-	c := t.chunk
-	t0 := tc.Clock().Now()
-	f, ok := handles[c.name]
-	if !ok {
-		var err error
-		f, err = tc.FS().Open(c.name)
-		if err != nil {
-			return readResult{fi: c.fi, cost: t.cost, failed: true, t0: t0, t1: tc.Clock().Now()}
-		}
-		handles[c.name] = f
-	}
-	res := readResult{fi: c.fi, cost: t.cost, opened: true, t0: t0}
-	if _, err := f.ReadAt(c.buf, c.off); err != nil {
-		res.failed = true
-	} else {
-		res.read = int64(len(c.buf))
-	}
-	res.t1 = tc.Clock().Now()
-	return res
-}
-
-// workScan runs one directory-scan fallback file on the worker's own clock
-// and filesystem view, so the profile's lookup costs charge to the worker
-// and overlap across the pool.
-func (e *readEngine) workScan(tc rt.TaskCtx, t *readTask) readResult {
-	sc := t.scan
-	t0 := tc.Clock().Now()
-	ships, read, opened, failed := collectScanFile(tc.FS(), tc.Clock(), e.s.cfg.Profile, e.s.cfg.Metrics, sc.name, e.window, e.round)
-	return readResult{fi: sc.fi, cost: t.cost, read: read, opened: opened, failed: failed, ships: ships,
-		t0: t0, t1: tc.Clock().Now()}
 }

@@ -219,7 +219,7 @@ func (s *server) run() {
 		s.engine = newDrainEngine(s)
 	}
 	for s.shutdown < len(s.myClients) {
-		if s.engine != nil && s.engine.crashed.Load() {
+		if s.engine != nil && s.engine.crashed() {
 			panic(serverCrashed{}) // a writer task died; the process dies with it
 		}
 		if len(s.buf) > 0 {
@@ -627,13 +627,21 @@ func (s *server) handleReadReq(src int) {
 }
 
 func (s *server) serveRead(file, window string, round *readRound) {
-	// Buffered data must be on disk before any restart read. The flush is
-	// write-back cost, not scan cost: it gets its own histogram, and the
-	// scan clock starts only after it — so with async drain enabled the
-	// restart "scan time" no longer silently absorbs the drain barrier.
-	flushT0 := s.ctx.Clock().Now()
-	s.flushOutput()
-	s.mx.flushSeconds.Observe(s.ctx.Clock().Now() - flushT0)
+	// Buffered data must be on disk before a restart read of an
+	// uncommitted generation. A committed one needs no barrier: its commit
+	// record exists only because the Sync flush already put every block of
+	// it on disk — so reading generation g proceeds immediately, its
+	// iosched read instance admitted while the drain instance may still be
+	// writing back generation g+1 (the scheduler's cross-engine overlap).
+	// When the flush does run it is write-back cost, not scan cost: it
+	// gets its own histogram, and the scan clock starts only after it — so
+	// with async drain enabled the restart "scan time" never silently
+	// absorbs the drain barrier.
+	if _, err := snapshot.Load(s.ctx.FS(), file); err != nil {
+		flushT0 := s.ctx.Clock().Now()
+		s.flushOutput()
+		s.mx.flushSeconds.Observe(s.ctx.Clock().Now() - flushT0)
+	}
 
 	scanT0 := s.ctx.Clock().Now()
 	defer func() { s.mx.scanSeconds.Observe(s.ctx.Clock().Now() - scanT0) }()

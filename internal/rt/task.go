@@ -12,11 +12,15 @@ type TaskCtx interface {
 // Queue is a bounded FIFO connecting a rank and its background activities,
 // with Go-channel semantics: Put blocks while full and panics if the queue
 // is closed; Get blocks while empty and reports closure with ok=false once
-// drained. The Clock argument identifies the calling activity, which
-// simulated backends need in order to block the right process.
+// drained. TryGet never blocks: it returns the head item if one is ready
+// and (nil, false) when the queue is empty or closed-and-drained — the
+// completion-signal primitive the iosched budget gate reaps with between
+// blocking waits. The Clock argument identifies the calling activity,
+// which simulated backends need in order to block the right process.
 type Queue interface {
 	Put(c Clock, v interface{})
 	Get(c Clock) (interface{}, bool)
+	TryGet(c Clock) (interface{}, bool)
 	Close()
 }
 
@@ -41,6 +45,16 @@ func (q *GoQueue) Put(_ Clock, v interface{}) { q.ch <- v }
 func (q *GoQueue) Get(_ Clock) (interface{}, bool) {
 	v, ok := <-q.ch
 	return v, ok
+}
+
+// TryGet implements Queue.
+func (q *GoQueue) TryGet(_ Clock) (interface{}, bool) {
+	select {
+	case v, ok := <-q.ch:
+		return v, ok
+	default:
+		return nil, false
+	}
 }
 
 // Close implements Queue.

@@ -51,6 +51,19 @@ func (q *Queue) Get(p *Proc) (interface{}, bool) {
 	return v, true
 }
 
+// TryGet removes and returns the head item without ever parking the
+// calling process: (nil, false) when the queue is empty, whether open or
+// closed.
+func (q *Queue) TryGet(p *Proc) (interface{}, bool) {
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	q.wakeOnePutter()
+	return v, true
+}
+
 // Close marks the queue closed, waking all blocked processes. Further Gets
 // drain remaining items and then report closure.
 func (q *Queue) Close() {
